@@ -1,0 +1,31 @@
+# Common developer targets.
+
+.PHONY: install test bench experiments examples all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro experiment table1
+	python -m repro experiment table2
+	python -m repro experiment table3
+	python -m repro experiment figure1
+	python -m repro experiment figure8_9
+	python -m repro experiment figure10
+	python -m repro experiment figure11
+	python -m repro experiment figure12
+	python -m repro experiment figure13
+	python -m repro experiment figure14
+	python -m repro experiment scaling_study
+	python -m repro experiment hardware_sensitivity
+
+examples:
+	for f in examples/*.py; do python $$f; done
+
+all: test bench

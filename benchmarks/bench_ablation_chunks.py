@@ -1,0 +1,57 @@
+"""Ablation: chunk count on the *numeric* runtime — measured peak HBM
+and host traffic of a real FPDT block, forward + backward."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChunkLayout, fpdt_block_backward, fpdt_block_forward
+from repro.core.chunking import shard_sequence
+from repro.models import TransformerBlock, tiny_gpt
+from repro.runtime import VirtualCluster
+
+WORLD = 4
+S_LOCAL = 16
+
+
+def _run_block(num_chunks: int, offload: bool = True):
+    cfg = tiny_gpt(hidden_size=32, num_heads=4)
+    block = TransformerBlock(cfg, np.random.default_rng(0))
+    g = np.random.default_rng(1)
+    x = g.normal(size=(1, S_LOCAL * WORLD, cfg.hidden_size))
+    dy = g.normal(size=x.shape)
+    layout = ChunkLayout(x.shape[1], WORLD, num_chunks)
+    cluster = VirtualCluster(WORLD)
+    _, ctx = fpdt_block_forward(
+        cluster, block.params, cfg, layout, shard_sequence(x, layout), offload=offload
+    )
+    fpdt_block_backward(cluster, cfg, ctx, shard_sequence(dy, layout))
+    return cluster
+
+
+@pytest.mark.parametrize("num_chunks", [1, 2, 4, 8])
+def test_chunk_count_memory(benchmark, num_chunks, capsys):
+    cluster = benchmark.pedantic(_run_block, args=(num_chunks,), rounds=1, iterations=1)
+    peak = cluster.peak_hbm()
+    h2d = cluster.trace.total_bytes("h2d")
+    with capsys.disabled():
+        print(f"\nu={num_chunks}: peak HBM {peak} B, H2D traffic {h2d} B")
+    benchmark.extra_info["peak_hbm"] = peak
+    benchmark.extra_info["h2d_bytes"] = h2d
+    assert peak > 0
+
+
+def test_chunking_monotonically_reduces_peak(benchmark, capsys):
+    peaks = {}
+
+    def sweep():
+        for u in (1, 2, 4, 8):
+            peaks[u] = _run_block(u).peak_hbm()
+        return peaks
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\npeaks by chunk count: {peaks}")
+    assert peaks[1] > peaks[2] > peaks[4] > peaks[8]
+    # More chunks also means more PCIe traffic — the trade-off §4.2 tunes.
+    traffic = {u: _run_block(u).trace.total_bytes("h2d") for u in (2, 8)}
+    assert traffic[8] > traffic[2]

@@ -1,0 +1,51 @@
+"""Ablation: the vocabulary-chunked loss head (§5.4) — exactness across
+chunk counts and the modeled memory reduction at paper scale."""
+
+import numpy as np
+import pytest
+
+from repro.common.units import parse_tokens
+from repro.models import LLAMA_8B
+from repro.models.loss import (
+    chunked_lm_head_backward,
+    chunked_lm_head_forward,
+    suggested_loss_chunks,
+)
+from repro.perfmodel import FPDT_FULL, ULYSSES, estimate_memory
+
+
+def _head_step(num_chunks: int):
+    g = np.random.default_rng(0)
+    hidden = g.normal(size=(256, 32))
+    table = g.normal(size=(512, 32))
+    labels = g.integers(0, 512, size=256)
+    loss, cache = chunked_lm_head_forward(hidden, table, labels, num_chunks=num_chunks)
+    dh, dt = chunked_lm_head_backward(cache)
+    return loss, dh, dt
+
+
+@pytest.mark.parametrize("num_chunks", [1, 8, 32])
+def test_loss_chunking_exact(benchmark, num_chunks):
+    loss, dh, dt = benchmark.pedantic(
+        _head_step, args=(num_chunks,), rounds=1, iterations=1
+    )
+    ref_loss, ref_dh, ref_dt = _head_step(1)
+    assert loss == pytest.approx(ref_loss, rel=1e-12)
+    np.testing.assert_allclose(dh, ref_dh, rtol=1e-9)
+    np.testing.assert_allclose(dt, ref_dt, rtol=1e-9)
+
+
+def test_loss_chunking_memory_at_paper_scale(benchmark, capsys):
+    def measure():
+        s = parse_tokens("512K")
+        unchunked = estimate_memory(LLAMA_8B, ULYSSES, s, 8).loss_head
+        chunked = estimate_memory(LLAMA_8B, FPDT_FULL, s, 8).loss_head
+        return unchunked, chunked
+
+    unchunked, chunked = benchmark.pedantic(measure, rounds=1, iterations=1)
+    ratio = unchunked / chunked
+    with capsys.disabled():
+        print(f"\nloss head: unchunked {unchunked} B, chunked {chunked} B ({ratio:.0f}x)")
+    expect = suggested_loss_chunks(LLAMA_8B.vocab_size, LLAMA_8B.hidden_size)
+    # Chunking shrinks the spike by ~the chunk count (the paper's rule).
+    assert ratio == pytest.approx(expect, rel=0.25)

@@ -1,0 +1,49 @@
+"""Ablation: offloading on/off — measured peak HBM on the numeric
+runtime and simulated pipeline cost at paper scale."""
+
+import numpy as np
+
+from repro.common.units import parse_tokens
+from repro.core import ChunkLayout, fpdt_block_backward, fpdt_block_forward
+from repro.core.chunking import shard_sequence
+from repro.hardware import make_cluster, paper_node_a100_80g
+from repro.models import LLAMA_8B, TransformerBlock, tiny_gpt
+from repro.perfmodel import simulate_fpdt_layer
+from repro.runtime import VirtualCluster
+
+WORLD = 4
+
+
+def _numeric_peaks():
+    cfg = tiny_gpt(hidden_size=32, num_heads=4)
+    block = TransformerBlock(cfg, np.random.default_rng(0))
+    g = np.random.default_rng(1)
+    x = g.normal(size=(1, 64, cfg.hidden_size))
+    dy = g.normal(size=x.shape)
+    layout = ChunkLayout(64, WORLD, 8)
+    peaks = {}
+    for offload in (False, True):
+        cluster = VirtualCluster(WORLD)
+        _, ctx = fpdt_block_forward(
+            cluster, block.params, cfg, layout, shard_sequence(x, layout), offload=offload
+        )
+        fpdt_block_backward(cluster, cfg, ctx, shard_sequence(dy, layout))
+        peaks[offload] = (cluster.peak_hbm(), cluster.host.pool.peak)
+    return peaks
+
+
+def test_offload_memory_vs_time(benchmark, capsys):
+    peaks = benchmark.pedantic(_numeric_peaks, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\nmeasured (HBM, host) peaks: offload=False {peaks[False]}, True {peaks[True]}")
+    # Offloading strictly reduces device peak and uses host instead.
+    assert peaks[True][0] < peaks[False][0]
+    assert peaks[True][1] > peaks[False][1]
+    # Simulated cost at paper scale: at the 64K sweet spot the offloaded
+    # pipeline is within 15% of the HBM-resident one (§5.2's "comparable
+    # hardware MFU as the non-offloading counterparts").
+    cluster = make_cluster(paper_node_a100_80g(), 4)
+    s = parse_tokens("512K")
+    t_off = simulate_fpdt_layer(LLAMA_8B, cluster, s, parse_tokens("64K"), offload=True)
+    t_kept = simulate_fpdt_layer(LLAMA_8B, cluster, s, parse_tokens("64K"), offload=False)
+    assert t_off.makespan <= 1.15 * t_kept.makespan

@@ -1,0 +1,52 @@
+"""Ablation (extension): sliding-window attention under FPDT — out-of-
+window chunks are neither fetched nor computed, with exact numerics."""
+
+import numpy as np
+
+from repro.core import ChunkLayout, fpdt_block_backward, fpdt_block_forward
+from repro.core.chunking import shard_sequence
+from repro.models import TransformerBlock, tiny_gpt
+from repro.runtime import VirtualCluster
+
+WORLD = 4
+S = 128
+CHUNKS = 8
+
+
+def _run(window):
+    cfg = tiny_gpt(hidden_size=32, num_heads=4).scaled(attention_window=window)
+    block = TransformerBlock(cfg, np.random.default_rng(0))
+    g = np.random.default_rng(1)
+    x = g.normal(size=(1, S, cfg.hidden_size))
+    dy = g.normal(size=x.shape)
+    layout = ChunkLayout(S, WORLD, CHUNKS)
+    cluster = VirtualCluster(WORLD)
+    y, ctx = fpdt_block_forward(
+        cluster, block.params, cfg, layout, shard_sequence(x, layout)
+    )
+    fpdt_block_backward(cluster, cfg, ctx, shard_sequence(dy, layout))
+    return cluster
+
+
+def test_window_fetch_and_compute_scaling(benchmark, capsys):
+    def sweep():
+        rows = {}
+        for window in (None, 64, 32, 16):
+            cluster = _run(window)
+            rows[window] = (
+                cluster.trace.total_bytes("h2d"),
+                cluster.trace.total_flops(),
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    with capsys.disabled():
+        for window, (h2d, flops) in rows.items():
+            print(f"\nwindow={window}: H2D {h2d} B, attention {flops:.2e} FLOPs")
+    # Tighter windows mean strictly less traffic and compute.
+    windows = [None, 64, 32, 16]
+    h2ds = [rows[w][0] for w in windows]
+    flops = [rows[w][1] for w in windows]
+    assert all(a >= b for a, b in zip(h2ds, h2ds[1:]))
+    assert all(a >= b for a, b in zip(flops, flops[1:]))
+    assert h2ds[-1] < 0.5 * h2ds[0]

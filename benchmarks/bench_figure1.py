@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 1 (MFU vs max context per GPU)."""
+
+from repro.experiments import render
+from repro.experiments.figure1 import run
+
+
+def test_figure1(benchmark, once, capsys):
+    result = once(benchmark, run, fast=False)
+    with capsys.disabled():
+        print("\n" + render(result))
+    points = result.data["points"]
+    for model, by_strategy in points.items():
+        fp_ctx, fp_mfu = by_strategy["FPDT w. double buffer"]
+        for name in ("Megatron-SP", "Ulysses"):
+            if name not in by_strategy:
+                continue
+            base_ctx, base_mfu = by_strategy[name]
+            # The Fig. 1 shape: FPDT supports >=4x the per-GPU context at
+            # at-least-comparable MFU.
+            assert fp_ctx >= 4 * base_ctx, f"{model}/{name}"
+            assert fp_mfu >= base_mfu - 0.02, f"{model}/{name}"

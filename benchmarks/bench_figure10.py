@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Figure 10 (operator latency vs chunk size)."""
+
+from repro.common.units import parse_tokens
+from repro.experiments import render
+from repro.experiments.figure10 import run
+
+
+def test_figure10(benchmark, once, capsys):
+    result = once(benchmark, run, fast=False)
+    with capsys.disabled():
+        print("\n" + render(result))
+    series = result.data["series"]
+    # Attention is quadratic, everything else ~linear.
+    c1, c2 = parse_tokens("64K"), parse_tokens("128K")
+    assert series[c2]["attn_fwd"] / series[c1]["attn_fwd"] > 3.0
+    assert series[c2]["fetch_per_gpu"] / series[c1]["fetch_per_gpu"] < 2.5
+    # The paper's crossover: attention overtakes fetch at 32-64K.
+    assert parse_tokens("16K") <= result.data["crossover"] <= parse_tokens("128K")
+    # Alltoall (NVLink) is far cheaper than fetch (PCIe) at equal chunk.
+    assert series[c1]["alltoall"] < series[c1]["fetch_per_gpu"]
+    # Per-GPU fetch loses at small sizes (contention), converges later.
+    small = parse_tokens("2K")
+    assert series[small]["fetch_per_gpu"] > series[small]["fetch_exclusive"]

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 11 (MFU vs sequence length, all models)."""
+
+from repro.experiments import render
+from repro.experiments.figure11 import run
+
+
+def _max_supported(series):
+    pts = [s for s, u in series if u is not None]
+    return max(pts) if pts else 0
+
+
+def test_figure11(benchmark, once, capsys):
+    result = once(benchmark, run, fast=False)
+    with capsys.disabled():
+        print("\n" + render(result))
+    all_series = result.data["series"]
+    assert len(all_series) == 6  # all six paper models
+    for model, by_strategy in all_series.items():
+        mp = _max_supported(by_strategy["Megatron-SP"])
+        ul = _max_supported(by_strategy["Ulysses"])
+        chunk = _max_supported(by_strategy["FPDT w. chunking"])
+        full = _max_supported(by_strategy["FPDT w. double buffer"])
+        # Fig. 11 ordering: FPDT-full >= FPDT-chunking > both baselines.
+        assert full >= chunk, model
+        assert chunk > max(mp, ul), model
+        assert full >= 4 * max(mp, ul), model
+        # MFU at supported FPDT points stays high (>45%) once >=256K.
+        for s, u in by_strategy["FPDT w. double buffer"]:
+            if u is not None and s >= 262144:
+                assert u > 0.45, (model, s)

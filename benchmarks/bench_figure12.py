@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 12 (MFU + HBM vs chunk size @ 256K)."""
+
+from repro.common.units import parse_tokens
+from repro.experiments import render
+from repro.experiments.figure12 import run
+
+
+def test_figure12(benchmark, once, capsys):
+    result = once(benchmark, run, fast=False)
+    with capsys.disabled():
+        print("\n" + render(result))
+    sweeps = result.data["sweeps"]
+    for model, sweep in sweeps.items():
+        chunks = sorted(c for c in sweep if sweep[c]["fits"])
+        acts = [sweep[c]["activations"] for c in chunks]
+        # Smaller chunks -> less activation memory (monotone, Fig. 12).
+        assert all(a <= b for a, b in zip(acts, acts[1:])), model
+        # No-chunking (256K) is the worst case.
+        assert sweep[max(chunks)]["activations"] == max(acts), model
+        # MFU sweet spot is an interior chunk size (starving at the small
+        # end, shorter pipeline overlap at the big end).
+        best = max(chunks, key=lambda c: sweep[c]["mfu"])
+        assert parse_tokens("8K") < best < parse_tokens("256K"), model
+    # Numeric cross-check: measured pool peaks shrink as chunks increase.
+    peaks = result.data["measured_peaks"]
+    counts = sorted(peaks)
+    assert all(peaks[a] > peaks[b] for a, b in zip(counts, counts[1:]))

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 13 (backward-pass memory timeline)."""
+
+from repro.experiments import render
+from repro.experiments.figure13 import run
+
+
+def test_figure13(benchmark, once, capsys):
+    result = once(benchmark, run)
+    with capsys.disabled():
+        print("\n" + render(result))
+    # FFN runs at exactly twice the attention chunk count (§5.4).
+    assert result.data["ffn_chunks"] == 2 * result.data["attn_chunks"]
+    # The backward returns the pool to its pre-backward level (no leaks).
+    assert result.data["final_in_use"] == 0
+    # The timeline is a real profile: it has many alloc/free events and
+    # its peak is positive.
+    assert len(result.data["timeline"]) > 50
+    assert result.data["peak"] > 0
+    assert result.data["n_attention_events"] > 0

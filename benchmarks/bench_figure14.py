@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 14 (convergence equivalence)."""
+
+import numpy as np
+
+from repro.experiments import render
+from repro.experiments.figure14 import run
+
+
+def test_figure14(benchmark, once, capsys):
+    result = once(benchmark, run, fast=True)
+    with capsys.disabled():
+        print("\n" + render(result))
+    curves = result.data["curves"]
+    # All four curves (baseline, Ulysses, FPDT x2) are indistinguishable.
+    for mode, div in result.data["divergence"].items():
+        assert div < 1e-9, mode
+    # And the model is actually learning (the curve is not flat noise).
+    base = np.asarray(curves["baseline"])
+    assert base[-1] < base[0] + 0.05

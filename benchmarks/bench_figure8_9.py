@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figures 8-9 (chunk-size failure modes)."""
+
+from repro.common.units import parse_tokens
+from repro.experiments import render
+from repro.experiments.figure8_9 import run
+
+
+def test_figure8_9(benchmark, once, capsys):
+    result = once(benchmark, run, fast=False)
+    with capsys.disabled():
+        print("\n" + render(result))
+    rows = result.data["rows"]
+    tiny, sweet, huge = parse_tokens("2K"), parse_tokens("64K"), parse_tokens("256K")
+    # Fig. 8: starving — compute waits on the fetch stream at tiny chunks.
+    assert rows[tiny]["compute_util"] < 0.5
+    assert rows[tiny]["h2d_util"] > 0.9
+    assert rows[tiny]["makespan"] > 2 * rows[sweet]["makespan"]
+    # Fig. 9: waste — bigger chunks past the knee buy no time, only HBM.
+    assert rows[huge]["makespan"] <= rows[sweet]["makespan"] * 1.02
+    assert rows[huge]["working_set"] > 3 * rows[sweet]["working_set"]
+    # At the sweet spot, compute is saturated.
+    assert rows[sweet]["compute_util"] > 0.95

@@ -1,0 +1,19 @@
+"""Benchmark: the hardware-sensitivity extension study."""
+
+from repro.experiments import render
+from repro.experiments.hardware_sensitivity import run
+
+
+def test_hardware_sensitivity(benchmark, once, capsys):
+    result = once(benchmark, run)
+    with capsys.disabled():
+        print("\n" + render(result))
+    a100 = result.data["A100-80G (PCIe4)"]
+    h100 = result.data["H100-80G (PCIe5)"]
+    # The compute/fetch crossover moves to larger chunks on H100
+    # (compute speeds up ~3.2x, host bandwidth only 2x).
+    assert h100["crossover"] > a100["crossover"]
+    # The tuner follows: H100 wants at-least-as-large chunks.
+    assert h100["tuned_chunk"] >= a100["tuned_chunk"]
+    # MFU stays in the healthy band on both generations.
+    assert a100["mfu"] > 0.5 and h100["mfu"] > 0.5

@@ -1,0 +1,67 @@
+"""Microbenchmarks of the numeric kernels themselves (real timing):
+online attention vs reference, and the distributed block strategies.
+
+These are honest wall-clock benchmarks (multiple rounds) of the NumPy
+kernels — useful for catching performance regressions in the library
+code itself, as opposed to the table/figure harnesses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.models import TransformerBlock, tiny_gpt
+from repro.models.attention import (
+    attention_forward_reference,
+    online_attention_forward,
+)
+from repro.parallel import ulysses_block_forward
+from repro.core import ChunkLayout, fpdt_block_forward
+from repro.core.chunking import shard_sequence
+from repro.runtime import VirtualCluster
+
+
+def _qkv(s=256, h=8, d=32, seed=0):
+    g = np.random.default_rng(seed)
+    return (
+        g.normal(size=(1, s, h, d)),
+        g.normal(size=(1, s, h, d)),
+        g.normal(size=(1, s, h, d)),
+    )
+
+
+def test_reference_attention_forward(benchmark):
+    q, k, v = _qkv()
+    o, _ = benchmark(attention_forward_reference, q, k, v)
+    assert o.shape == q.shape
+
+
+def test_online_attention_forward(benchmark):
+    q, k, v = _qkv()
+    o, _ = benchmark(lambda: online_attention_forward(q, k, v, block_q=64, block_k=64))
+    assert o.shape == q.shape
+
+
+@pytest.mark.parametrize("mode", ["ulysses", "fpdt"])
+def test_distributed_block_forward(benchmark, mode):
+    cfg = tiny_gpt(hidden_size=64, num_heads=4)
+    block = TransformerBlock(cfg, np.random.default_rng(0))
+    x = np.random.default_rng(1).normal(size=(1, 64, cfg.hidden_size))
+
+    if mode == "ulysses":
+        def step():
+            cluster = VirtualCluster(4)
+            return ulysses_block_forward(
+                cluster, block.params, cfg, np.split(x, 4, axis=1)
+            )
+    else:
+        layout = ChunkLayout(64, 4, 4)
+        def step():
+            cluster = VirtualCluster(4)
+            y, ctx = fpdt_block_forward(
+                cluster, block.params, cfg, layout, shard_sequence(x, layout)
+            )
+            ctx.attn_ctx.release()
+            return y
+
+    result = benchmark(step)
+    assert result is not None

@@ -1,0 +1,31 @@
+"""Benchmark: the strong-scaling extension study."""
+
+from repro.experiments import render
+from repro.experiments.scaling_study import GPU_COUNTS, run
+
+
+def test_scaling_study(benchmark, once, capsys):
+    result = once(benchmark, run, fast=True)
+    with capsys.disabled():
+        print("\n" + render(result))
+    data = result.data["models"]["llama-8b"]
+    caps = [data["capacity"][g] for g in GPU_COUNTS]
+    # Capacity strictly grows with GPUs.
+    assert all(a < b for a, b in zip(caps, caps[1:]))
+    # Throughput grows with GPUs for FPDT.
+    tput = [
+        data["throughput"][g]["FPDT w. double buffer"]["tokens_per_s"]
+        for g in GPU_COUNTS
+    ]
+    assert all(a < b for a, b in zip(tput, tput[1:]))
+    # The Megatron inter-node penalty: once the group spans nodes its
+    # all-gathers ride InfiniBand and MFU sits far below Ulysses at the
+    # same scale, while Ulysses stays stable from 8 to 16 GPUs.
+    mp8 = data["throughput"][8]["Megatron-SP"]["mfu"]
+    ul8 = data["throughput"][8]["Ulysses"]["mfu"]
+    ul16 = data["throughput"][16]["Ulysses"]["mfu"]
+    assert mp8 < 0.75 * ul8
+    assert ul16 > 0.85 * ul8
+    # At 4 GPUs (one node) Megatron cannot even fit 256K for this model
+    # — the capacity side of the same comparison.
+    assert not data["throughput"][4]["Megatron-SP"]["fits"]

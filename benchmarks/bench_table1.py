@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Table 1 (max context per hardware cell)."""
+
+import numpy as np
+
+from repro.common.units import parse_tokens
+from repro.experiments import render
+from repro.experiments.table1 import run
+
+
+def test_table1(benchmark, once, capsys):
+    result = once(benchmark, run, fast=True)
+    with capsys.disabled():
+        print("\n" + render(result))
+    cells = result.data["cells"]
+    # Shape assertions: capacity grows with GPUs and with HBM size.
+    row = cells["gpt-2.7b"]
+    assert row[("40G", 1)] < row[("40G", 2)] < row[("40G", 4)] < row[("40G", 8)]
+    assert row[("80G", 4)] > row[("40G", 4)]
+    # Llama-8B cannot fit on few 40G GPUs ('-' cells).
+    assert cells["llama-8b"][("40G", 1)] is None
+    # Paper-anchor cells within band.
+    assert abs(np.log2(row[("40G", 4)] / parse_tokens("2M"))) <= 1.0
+    assert abs(np.log2(cells["llama-8b"][("80G", 8)] / parse_tokens("4M"))) <= 1.0
+    # Calibration residual: geometric-mean ratio within 2x overall.
+    ratios = result.data["ratios"]
+    geomean = float(np.exp(np.mean(np.log(ratios))))
+    assert 0.5 <= geomean <= 2.0

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 2 (per-step block memory footprint)."""
+
+from repro.experiments import render
+from repro.experiments.table2 import run
+
+
+def test_table2(benchmark, once, capsys):
+    result = once(benchmark, run)
+    with capsys.disabled():
+        print("\n" + render(result))
+    mult = result.data["multipliers"]
+    assert mult["qkv_proj"] == (3, 6)
+    assert mult["attention"] == (4, 8)
+    assert mult["ffn"] == (4, 8)
+    # Measured on the numeric runtime: all-to-all really needs 2x (send+recv).
+    assert result.data["measured_all2all_factor"] >= 2.0

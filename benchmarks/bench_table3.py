@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table 3 (strategy ablation, Llama-8B, 8 GPUs)."""
+
+from repro.common.units import GIB, parse_tokens
+from repro.experiments import render
+from repro.experiments.table3 import run
+
+
+def test_table3(benchmark, once, capsys):
+    result = once(benchmark, run, fast=False)
+    with capsys.disabled():
+        print("\n" + render(result))
+    rows = result.data["rows"]
+    # Every strategy's max length within ~1 grid step of the paper.
+    for label, row in rows.items():
+        ratio = row["max_len"] / row["paper_max"]
+        assert 0.5 <= ratio <= 3.0, f"{label}: {ratio}"
+    # The composed story: AC extends TP, OC extends AC, FPDT dwarfs all.
+    assert rows["TP"]["max_len"] < rows["TP+AC"]["max_len"] < rows["TP+AC+OC"]["max_len"]
+    assert rows["FPDT(+AC+OC+Z3)"]["max_len"] >= 6 * rows["UL+AC+OC+Z3"]["max_len"]
+    # FPDT row: >=4M at >50% MFU within ~8 GiB of the paper's HBM.
+    fpdt = rows["FPDT(+AC+OC+Z3)"]
+    assert fpdt["max_len"] >= parse_tokens("4M")
+    assert fpdt["mfu"] > 0.5
+    assert abs(fpdt["hbm"] - fpdt["paper_hbm"]) < 10 * GIB

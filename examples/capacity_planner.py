@@ -1,0 +1,67 @@
+"""Capacity planner: "what's the longest context I can train?"
+
+The downstream-user workflow Table 1 encodes: pick a model and a GPU
+budget, get the maximum context length per strategy with the full
+memory breakdown and the projected MFU/step time.
+
+Run: ``python examples/capacity_planner.py [model] [num_gpus] [40G|80G]``
+e.g. ``python examples/capacity_planner.py llama-8b 4 80G``
+"""
+
+import sys
+
+from repro.common.units import format_bytes, format_tokens
+from repro.hardware import paper_node_a100_40g, paper_node_a100_80g
+from repro.models import MODEL_ZOO
+from repro.perfmodel import (
+    FPDT_CHUNKED,
+    FPDT_FULL,
+    MEGATRON_SP,
+    ULYSSES,
+    max_context_length,
+    step_metrics,
+)
+
+
+def main(model_name: str = "llama-8b", num_gpus: int = 4, gpu_kind: str = "80G") -> None:
+    cfg = MODEL_ZOO[model_name]
+    node = paper_node_a100_80g() if gpu_kind == "80G" else paper_node_a100_40g()
+    print(f"planning: {cfg.name} ({cfg.num_params() / 1e9:.1f}B params) on "
+          f"{num_gpus}x A100-{gpu_kind}\n")
+    header = f"{'strategy':<24s} {'max context':>12s} {'MFU':>7s} {'step time':>10s} {'HBM':>8s}"
+    print(header)
+    print("-" * len(header))
+    best = None
+    for strat in (MEGATRON_SP, ULYSSES, FPDT_CHUNKED, FPDT_FULL):
+        mx = max_context_length(cfg, strat, num_gpus, node)
+        if mx is None:
+            print(f"{strat.name:<24s} {'does not fit':>12s}")
+            continue
+        sm = step_metrics(cfg, strat, mx, num_gpus, node)
+        print(f"{strat.name:<24s} {format_tokens(mx):>12s} {sm.mfu:>6.1%} "
+              f"{sm.step_time:>9.1f}s {format_bytes(sm.memory.device_total):>8s}")
+        if best is None or mx > best[1]:
+            best = (strat, mx, sm)
+    if best is None:
+        print("\nno strategy fits this model on this hardware — add GPUs or HBM")
+        return
+    strat, mx, sm = best
+    mem = sm.memory
+    print(f"\nbest: {strat.name} at {format_tokens(mx)} tokens")
+    print(f"  model states      {format_bytes(mem.model_states):>9s}"
+          f"{'  (optimizer spilled to host)' if mem.optimizer_on_host else ''}")
+    print(f"  param gather      {format_bytes(mem.param_gather):>9s}")
+    print(f"  checkpoints       {format_bytes(mem.checkpoints):>9s}")
+    print(f"  working set       {format_bytes(mem.working_set):>9s}")
+    print(f"  loss head         {format_bytes(mem.loss_head):>9s}")
+    print(f"  runtime overhead  {format_bytes(mem.runtime_overhead):>9s}")
+    print(f"  host (per node)   {format_bytes(mem.host_bytes):>9s}")
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(
+        args[0] if args else "llama-8b",
+        int(args[1]) if len(args) > 1 else 4,
+        args[2] if len(args) > 2 else "80G",
+    )

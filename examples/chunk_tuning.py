@@ -1,0 +1,59 @@
+"""Chunk-size tuning: find the pipeline sweet spot (§5.3, Fig. 12).
+
+For a model/GPU config and target sequence length, sweeps the FPDT chunk
+size and reports HBM, MFU, and the pipeline's stream utilizations so you
+can see *why* a chunk size wins: small chunks starve compute behind PCIe
+fetches (Fig. 8), huge chunks waste HBM and shorten the pipeline
+(Fig. 9).
+
+Run: ``python examples/chunk_tuning.py [model] [num_gpus] [seq, e.g. 512K]``
+"""
+
+import sys
+
+from repro.common.units import format_bytes, format_tokens, parse_tokens
+from repro.hardware import make_cluster, paper_node_a100_80g
+from repro.models import MODEL_ZOO
+from repro.perfmodel import FPDT_FULL, simulate_fpdt_layer, step_metrics
+
+CHUNKS = ["8K", "16K", "32K", "64K", "128K", "256K"]
+
+
+def main(model_name: str = "llama-8b", num_gpus: int = 4, seq: str = "512K") -> None:
+    cfg = MODEL_ZOO[model_name]
+    node = paper_node_a100_80g()
+    cluster = make_cluster(node, num_gpus)
+    s = parse_tokens(seq)
+    print(f"tuning {cfg.name} @ {seq} on {num_gpus}x {node.gpu.name}\n")
+    header = (f"{'chunk':>6s} {'MFU':>7s} {'HBM':>8s} {'activations':>12s} "
+              f"{'compute util':>13s} {'h2d util':>9s}")
+    print(header)
+    print("-" * len(header))
+    best = None
+    for chunk_s in CHUNKS:
+        chunk = parse_tokens(chunk_s)
+        if chunk > s:
+            continue
+        strat = FPDT_FULL.with_chunk_tokens(chunk)
+        sm = step_metrics(cfg, strat, s, num_gpus, node)
+        if not sm.fits:
+            print(f"{chunk_s:>6s} {'OOM':>7s}")
+            continue
+        pipe = simulate_fpdt_layer(cfg, cluster, s, chunk, phase="backward")
+        print(f"{chunk_s:>6s} {sm.mfu:>6.1%} {format_bytes(sm.memory.device_total):>8s} "
+              f"{format_bytes(sm.memory.activations):>12s} "
+              f"{pipe.utilization('compute'):>12.0%} {pipe.utilization('h2d'):>8.0%}")
+        if best is None or sm.mfu > best[1]:
+            best = (chunk, sm.mfu)
+    if best:
+        print(f"\nsweet spot: {format_tokens(best[0])} chunks at {best[1]:.1%} MFU "
+              f"(paper's default: 64K)")
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(
+        args[0] if args else "llama-8b",
+        int(args[1]) if len(args) > 1 else 4,
+        args[2] if len(args) > 2 else "512K",
+    )

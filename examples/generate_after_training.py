@@ -1,0 +1,59 @@
+"""Train under FPDT, then generate with the KV cache.
+
+The point of a long-context model is to use it: this example pretrains a
+tiny GPT on a Markov corpus *through the FPDT runner* (4 virtual GPUs,
+chunked + offloaded), then decodes continuations with the KV-cached
+generation path and scores how often the model's greedy choices are
+legal transitions of the corpus kernel — near-random before training,
+near-perfect after.
+
+Run: ``python examples/generate_after_training.py [steps]``
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import FPDTModelRunner
+from repro.models import GPTModel, tiny_gpt
+from repro.models.generate import generate
+from repro.runtime import VirtualCluster
+from repro.training import SyntheticCorpus
+from repro.training.trainer import Trainer
+
+
+def legal_fraction(corpus: SyntheticCorpus, sequence: np.ndarray, start: int) -> float:
+    """Fraction of transitions from ``start`` on that follow the kernel."""
+    pairs = [(sequence[i], sequence[i + 1]) for i in range(start, len(sequence) - 1)]
+    ok = sum(b in corpus.successors[a] for a, b in pairs)
+    return ok / len(pairs)
+
+
+def main(steps: int = 120) -> None:
+    cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=2, vocab_size=32)
+    model = GPTModel(cfg, seed=11)
+    corpus = SyntheticCorpus(32, branching=2, seed=11)
+    prompt = corpus.sample(6)
+
+    before = generate(model, prompt, max_new_tokens=16)
+    frac_before = legal_fraction(corpus, before, start=5)
+    print(f"untrained model: {frac_before:.0%} of greedy transitions are legal")
+
+    runner = FPDTModelRunner(
+        model, VirtualCluster(4), num_chunks=2, offload=True, loss_chunks=2
+    )
+    trainer = Trainer(model, corpus, runner=runner, lr=5e-3)
+    result = trainer.train(steps, batch_size=2, seq_len=16)
+    print(f"trained {steps} steps under FPDT: loss "
+          f"{result.losses[0]:.3f} -> {result.final_loss():.3f} "
+          f"(corpus floor {corpus.entropy_floor():.3f})")
+
+    after = generate(model, prompt, max_new_tokens=16)
+    frac_after = legal_fraction(corpus, after, start=5)
+    print(f"trained model:   {frac_after:.0%} of greedy transitions are legal")
+    print(f"\nprompt:      {prompt.tolist()}")
+    print(f"continuation: {after[len(prompt):].tolist()}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 150)

@@ -1,0 +1,64 @@
+"""Sliding-window attention under FPDT (extension example).
+
+Long-document models often cap each token's attention span (Mistral-
+style sliding windows).  Under FPDT this composes beautifully: a KV
+chunk entirely behind the window is never fetched from host and never
+computed, so both PCIe traffic and attention FLOPs scale with the window
+instead of the full context.
+
+This example runs the same FPDT block at several window sizes, verifies
+exactness against the reference model at each, and prints the measured
+fetch/compute savings.
+
+Run: ``python examples/sliding_window_longdoc.py``
+"""
+
+import numpy as np
+
+from repro.common.units import format_bytes
+from repro.core import ChunkLayout, fpdt_block_backward, fpdt_block_forward
+from repro.core.chunking import shard_sequence, unshard_sequence
+from repro.models import TransformerBlock, tiny_llama
+from repro.runtime import VirtualCluster
+
+WORLD, S, CHUNKS = 4, 128, 8
+
+
+def run_with_window(window: int | None):
+    cfg = tiny_llama(hidden_size=64, num_heads=8, num_kv_heads=4).scaled(
+        attention_window=window
+    )
+    block = TransformerBlock(cfg, np.random.default_rng(0))
+    g = np.random.default_rng(1)
+    x = g.normal(size=(1, S, cfg.hidden_size))
+    dy = g.normal(size=x.shape)
+    y_ref = block.forward(x)
+    block.backward(dy)
+
+    layout = ChunkLayout(S, WORLD, CHUNKS)
+    cluster = VirtualCluster(WORLD)
+    y_shards, ctx = fpdt_block_forward(
+        cluster, block.params, cfg, layout, shard_sequence(x, layout)
+    )
+    fpdt_block_backward(cluster, cfg, ctx, shard_sequence(dy, layout))
+    err = float(np.abs(unshard_sequence(y_shards, layout) - y_ref).max())
+    return err, cluster.trace.total_bytes("h2d"), cluster.trace.total_flops()
+
+
+def main() -> None:
+    print(f"FPDT block, {S} tokens, {CHUNKS} chunks on {WORLD} virtual GPUs\n")
+    print(f"{'window':>8s} {'max err vs ref':>15s} {'H2D traffic':>12s} {'attn FLOPs':>12s}")
+    baseline_h2d = baseline_flops = None
+    for window in (None, 64, 32, 16):
+        err, h2d, flops = run_with_window(window)
+        if baseline_h2d is None:
+            baseline_h2d, baseline_flops = h2d, flops
+        print(f"{str(window or 'full'):>8s} {err:>15.2e} "
+              f"{format_bytes(h2d):>9s} ({h2d/baseline_h2d:>4.0%}) "
+              f"{flops:>9.2e} ({flops/baseline_flops:>4.0%})")
+    print("\nout-of-window chunks are skipped before the fetch is even issued —")
+    print("the chunk pipeline turns the attention mask into an I/O optimization.")
+
+
+if __name__ == "__main__":
+    main()

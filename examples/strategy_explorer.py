@@ -1,0 +1,67 @@
+"""Strategy explorer: compose your own Table-3 row.
+
+Builds a custom :class:`TrainingStrategy` from command-line flags and
+reports capacity + performance, so you can answer questions like "what
+does ZeRO-2 without offloading buy me?" the way the paper's ablation
+does.
+
+Run: ``python examples/strategy_explorer.py --parallelism fpdt --zero 3 \
+      --chunk 64K --offload --model llama-8b --gpus 8``
+"""
+
+import argparse
+
+from repro.common.units import format_bytes, format_tokens, parse_tokens
+from repro.hardware import paper_node_a100_40g, paper_node_a100_80g
+from repro.models import MODEL_ZOO
+from repro.perfmodel import max_context_length, step_metrics
+from repro.perfmodel.strategies import TrainingStrategy
+
+
+def build_strategy(args: argparse.Namespace) -> TrainingStrategy:
+    return TrainingStrategy(
+        name="custom",
+        parallelism=args.parallelism,
+        zero_stage=args.zero,
+        activation_checkpoint=not args.no_ac,
+        checkpoint_offload=not args.no_oc,
+        chunk_tokens=parse_tokens(args.chunk) if args.parallelism == "fpdt" else None,
+        offload=args.offload,
+        sequence_parallel=not args.plain_tp,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="llama-8b", choices=sorted(MODEL_ZOO))
+    parser.add_argument("--gpus", type=int, default=8)
+    parser.add_argument("--gpu-kind", default="80G", choices=["40G", "80G"])
+    parser.add_argument("--parallelism", default="fpdt", choices=["tp", "ulysses", "fpdt"])
+    parser.add_argument("--zero", type=int, default=3, choices=[0, 1, 2, 3])
+    parser.add_argument("--chunk", default="64K", help="FPDT chunk tokens (e.g. 64K)")
+    parser.add_argument("--offload", action="store_true", help="FPDT host offloading")
+    parser.add_argument("--no-ac", action="store_true", help="disable activation checkpoint")
+    parser.add_argument("--no-oc", action="store_true", help="disable checkpoint CPU offload")
+    parser.add_argument("--plain-tp", action="store_true", help="TP without sequence parallel")
+    parser.add_argument("--window", default=None,
+                        help="sliding-window attention span (e.g. 64K)")
+    args = parser.parse_args()
+
+    cfg = MODEL_ZOO[args.model]
+    if args.window:
+        cfg = cfg.scaled(attention_window=parse_tokens(args.window))
+    node = paper_node_a100_80g() if args.gpu_kind == "80G" else paper_node_a100_40g()
+    strategy = build_strategy(args)
+    print(f"strategy: {strategy}")
+    mx = max_context_length(cfg, strategy, args.gpus, node)
+    if mx is None:
+        print("-> does not fit at any sequence length on this hardware")
+        return
+    sm = step_metrics(cfg, strategy, mx, args.gpus, node)
+    print(f"-> max context {format_tokens(mx)} | MFU {sm.mfu:.1%} | "
+          f"step {sm.step_time:.1f}s | HBM {format_bytes(sm.memory.device_total)} | "
+          f"host/node {format_bytes(sm.memory.host_bytes)}")
+
+
+if __name__ == "__main__":
+    main()

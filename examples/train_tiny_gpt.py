@@ -1,0 +1,49 @@
+"""Pretrain a tiny GPT under FPDT and verify it matches the baseline.
+
+The Fig.-14 scenario at example scale: the same seeded model is trained
+(a) on a single device and (b) under FPDT with offloading on 4 virtual
+GPUs; the two loss curves are printed side by side and are numerically
+identical, while the loss itself visibly decreases toward the corpus's
+entropy floor.
+
+Run: ``python examples/train_tiny_gpt.py [steps]``
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import FPDTModelRunner
+from repro.models import GPTModel, tiny_gpt
+from repro.runtime import VirtualCluster
+from repro.training import SyntheticCorpus
+from repro.training.trainer import Trainer
+
+
+def main(steps: int = 80) -> None:
+    cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=2, vocab_size=32)
+    print(f"model: {cfg.num_params():,} params | corpus entropy floor: "
+          f"{SyntheticCorpus(32, branching=2).entropy_floor():.3f} nats")
+
+    curves = {}
+    for mode in ("baseline", "fpdt-offload"):
+        model = GPTModel(cfg, seed=7)
+        corpus = SyntheticCorpus(cfg.vocab_size, branching=2, seed=7)
+        runner = None
+        if mode != "baseline":
+            runner = FPDTModelRunner(
+                model, VirtualCluster(4), num_chunks=2, offload=True, loss_chunks=2
+            )
+        trainer = Trainer(model, corpus, runner=runner, lr=5e-3)
+        curves[mode] = trainer.train(steps, batch_size=2, seq_len=16).losses
+        print(f"{mode:14s}: loss {curves[mode][0]:.4f} -> {curves[mode][-1]:.4f}")
+
+    print(f"\n{'step':>5s} {'baseline':>10s} {'fpdt':>10s}")
+    for i in range(0, steps, max(1, steps // 16)):
+        print(f"{i:>5d} {curves['baseline'][i]:>10.4f} {curves['fpdt-offload'][i]:>10.4f}")
+    div = np.max(np.abs(np.array(curves["baseline"]) - np.array(curves["fpdt-offload"])))
+    print(f"\nmax divergence between curves: {div:.2e} (FPDT is numerically exact)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 80)

@@ -1,0 +1,152 @@
+"""Command-line interface.
+
+::
+
+    python -m repro plan --model llama-8b --gpus 4 --gpu-kind 80G
+    python -m repro tune --model llama-8b --gpus 4 --seq 512K
+    python -m repro experiment table3
+    python -m repro train --steps 40
+
+``plan`` is the Table-1 question (max context per strategy), ``tune``
+the §5.3 question (which chunk size), ``experiment`` regenerates any
+paper table/figure, and ``train`` runs the Fig.-14 convergence demo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from repro.common.units import format_bytes, format_tokens, parse_tokens
+from repro.hardware import paper_node_a100_40g, paper_node_a100_80g
+from repro.models import MODEL_ZOO
+
+from repro.experiments.registry import EXPERIMENT_NAMES
+
+EXPERIMENTS = list(EXPERIMENT_NAMES)
+
+
+def _node(kind: str):
+    return paper_node_a100_80g() if kind == "80G" else paper_node_a100_40g()
+
+
+def _add_hw_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="llama-8b", choices=sorted(MODEL_ZOO))
+    parser.add_argument("--gpus", type=int, default=4)
+    parser.add_argument("--gpu-kind", default="80G", choices=["40G", "80G"])
+    parser.add_argument(
+        "--window", default=None,
+        help="sliding-window attention span (e.g. 64K); default full causal",
+    )
+
+
+def _resolve_model(args: argparse.Namespace):
+    cfg = MODEL_ZOO[args.model]
+    if getattr(args, "window", None):
+        cfg = cfg.scaled(attention_window=parse_tokens(args.window))
+    return cfg
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.perfmodel import (
+        FPDT_CHUNKED, FPDT_FULL, MEGATRON_SP, ULYSSES,
+        max_context_length, plan_training, step_metrics,
+    )
+
+    cfg = _resolve_model(args)
+    node = _node(args.gpu_kind)
+    window = f", window {args.window}" if args.window else ""
+    print(f"{args.model} on {args.gpus}x A100-{args.gpu_kind}{window}:")
+    for strat in (MEGATRON_SP, ULYSSES, FPDT_CHUNKED, FPDT_FULL):
+        mx = max_context_length(cfg, strat, args.gpus, node)
+        if mx is None:
+            print(f"  {strat.name:<24s} does not fit")
+            continue
+        sm = step_metrics(cfg, strat, mx, args.gpus, node)
+        plan = plan_training(cfg, strat, mx, args.gpus, node)
+        print(f"  {strat.name:<24s} max {format_tokens(mx):>6s} | MFU {sm.mfu:.1%} "
+              f"| HBM {format_bytes(sm.memory.device_total)} "
+              f"| {plan.gpu_hours_per_billion_tokens:,.0f} GPU-h/B tokens")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    from repro.perfmodel import suggest_chunk_tokens
+
+    cfg = _resolve_model(args)
+    choice = suggest_chunk_tokens(
+        cfg, args.gpus, parse_tokens(args.seq), _node(args.gpu_kind)
+    )
+    if choice is None:
+        print("no chunk size fits — reduce the sequence or add GPUs")
+        return 1
+    print(f"{args.model} @ {args.seq} on {args.gpus}x A100-{args.gpu_kind}:")
+    print(f"  chunk size {format_tokens(choice.chunk_tokens)} "
+          f"(u={choice.metrics.s_global // choice.chunk_tokens} chunks), "
+          f"MFU {choice.mfu:.1%}, HBM {format_bytes(choice.metrics.memory.device_total)}")
+    for chunk in sorted(choice.swept):
+        m = choice.swept[chunk]
+        status = f"MFU {m.mfu:.1%}" if m.fits else "OOM"
+        marker = " <-- chosen" if chunk == choice.chunk_tokens else ""
+        print(f"    {format_tokens(chunk):>6s}: {status}{marker}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.report import render, save_json
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    result = module.run(fast=args.fast)
+    print(render(result))
+    if args.json:
+        path = save_json(result, args.json)
+        print(f"[data written to {path}]")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    from repro.experiments.figure14 import train_curve
+
+    for mode in ("baseline", "fpdt-offload"):
+        losses = train_curve(mode, steps=args.steps)
+        print(f"{mode:14s}: {losses[0]:.4f} -> {losses[-1]:.4f}")
+    print("curves are numerically identical (see figure14 for the proof)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_plan = sub.add_parser("plan", help="max context per strategy (Table 1)")
+    _add_hw_args(p_plan)
+    p_plan.set_defaults(fn=cmd_plan)
+
+    p_tune = sub.add_parser("tune", help="pick the FPDT chunk size (§5.3)")
+    _add_hw_args(p_tune)
+    p_tune.add_argument("--seq", default="512K", help="target sequence length")
+    p_tune.set_defaults(fn=cmd_tune)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("name", choices=EXPERIMENTS)
+    p_exp.add_argument("--fast", action="store_true", help="reduced sweep")
+    p_exp.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="also write the result data as JSON into DIR (for plotting)",
+    )
+    p_exp.set_defaults(fn=cmd_experiment)
+
+    p_train = sub.add_parser("train", help="convergence demo (Fig. 14)")
+    p_train.add_argument("--steps", type=int, default=40)
+    p_train.set_defaults(fn=cmd_train)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

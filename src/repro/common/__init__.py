@@ -1,0 +1,48 @@
+"""Shared low-level utilities: units, dtypes, errors, RNG helpers.
+
+These modules have no dependencies on the rest of :mod:`repro`; everything
+else builds on them.
+"""
+
+from repro.common.dtypes import DType, dtype_size
+from repro.common.errors import (
+    DeviceMismatchError,
+    FPDTError,
+    OutOfMemoryError,
+    ShapeError,
+)
+from repro.common.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    TB,
+    TIB,
+    format_bytes,
+    format_count,
+    format_tokens,
+    parse_tokens,
+)
+
+__all__ = [
+    "DType",
+    "dtype_size",
+    "FPDTError",
+    "OutOfMemoryError",
+    "DeviceMismatchError",
+    "ShapeError",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "format_bytes",
+    "format_count",
+    "format_tokens",
+    "parse_tokens",
+]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the FPDT reproduction."""
+
+from __future__ import annotations
+
+
+class FPDTError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class OutOfMemoryError(FPDTError):
+    """A device memory pool could not satisfy an allocation.
+
+    Mirrors CUDA OOM: carries the requested size, the pool's capacity and
+    the bytes currently live so that capacity experiments can report *why*
+    a configuration failed, just as the paper's "OOM" markers do.
+    """
+
+    def __init__(self, pool: str, requested: int, capacity: int, in_use: int):
+        self.pool = pool
+        self.requested = requested
+        self.capacity = capacity
+        self.in_use = in_use
+        super().__init__(
+            f"{pool}: out of memory: requested {requested} B, "
+            f"capacity {capacity} B, in use {in_use} B"
+        )
+
+
+class DeviceMismatchError(FPDTError):
+    """An operation received tensors living on different devices."""
+
+
+class ShapeError(FPDTError):
+    """An operation received tensors with incompatible shapes."""
+
+
+class ScheduleError(FPDTError):
+    """A pipeline schedule is malformed (cyclic dependencies, unknown
+    stream, event waited on before being recorded, ...)."""

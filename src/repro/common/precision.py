@@ -1,0 +1,86 @@
+"""Emulated low-precision arithmetic.
+
+NumPy has no bf16, but bf16's effect — truncating float32's mantissa
+from 23 to 7 bits — is exactly emulable by zeroing the low 16 bits of
+the float32 representation.  The mixed-precision trainer uses this to
+reproduce the paper stack's numeric regime (bf16 forward/backward, fp32
+master weights and optimizer) so that "FPDT changes nothing about
+training" can also be demonstrated under realistic precision, not just
+float64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def quantize_bf16(x: np.ndarray) -> np.ndarray:
+    """Round ``x`` to the nearest bfloat16 value (returned as float32).
+
+    Implements round-to-nearest-even on the upper 16 bits of the IEEE-754
+    float32 encoding — bit-exact with hardware bf16 conversion for
+    normal numbers, NaN-safe.
+    """
+    as_f32 = np.asarray(x, dtype=np.float32)
+    bits = as_f32.view(np.uint32)
+    # round-to-nearest-even: add 0x7FFF + LSB of the kept part.
+    lsb = (bits >> 16) & 1
+    rounded = bits + 0x7FFF + lsb
+    out = (rounded & 0xFFFF0000).view(np.float32)
+    # NaNs must stay NaNs (the addition could overflow the exponent).
+    out = np.where(np.isnan(as_f32), as_f32, out)
+    return out.astype(np.float32)
+
+
+def bf16_ulp(x: float) -> float:
+    """The spacing between adjacent bf16 values at magnitude ``x``:
+    2^-7 relative for normals, floored at the subnormal quantum 2^-133
+    (the spacing below bf16's minimum normal ~1.18e-38)."""
+    return max(abs(x) * 2.0**-7, 2.0**-133)
+
+
+class LossScaler:
+    """Dynamic loss scaling for low-precision gradients.
+
+    Emulated bf16 rarely underflows (its exponent range matches fp32),
+    but the scaler is part of the mixed-precision contract and matters
+    for fp16 regimes: scale up while gradients stay finite, halve and
+    skip the step on overflow.
+    """
+
+    def __init__(
+        self,
+        *,
+        init_scale: float = 2.0**10,
+        growth_factor: float = 2.0,
+        backoff_factor: float = 0.5,
+        growth_interval: int = 100,
+        min_scale: float = 1.0,
+    ):
+        if init_scale <= 0:
+            raise ValueError("init_scale must be positive")
+        self.scale = init_scale
+        self.growth_factor = growth_factor
+        self.backoff_factor = backoff_factor
+        self.growth_interval = growth_interval
+        self.min_scale = min_scale
+        self._good_steps = 0
+        self.steps_skipped = 0
+
+    def check_and_unscale(
+        self, grads: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray] | None:
+        """Unscale gradients; returns None (skip the step) on non-finite
+        values, adjusting the scale either way."""
+        finite = all(np.isfinite(g).all() for g in grads.values())
+        if not finite:
+            self.scale = max(self.scale * self.backoff_factor, self.min_scale)
+            self._good_steps = 0
+            self.steps_skipped += 1
+            return None
+        self._good_steps += 1
+        out = {k: g / self.scale for k, g in grads.items()}
+        if self._good_steps >= self.growth_interval:
+            self.scale *= self.growth_factor
+            self._good_steps = 0
+        return out

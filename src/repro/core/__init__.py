@@ -1,0 +1,56 @@
+"""FPDT — the paper's contribution: Fully Pipelined Distributed
+Transformer.
+
+The pieces, mapping to the paper's §4:
+
+* :mod:`repro.core.chunking`       — sequence chunking and the
+  rank-ordinal shuffle that keeps the causal mask diagonal after the
+  per-chunk all-to-all (Fig. 6);
+* :mod:`repro.core.offload`        — the host-memory chunk cache that
+  holds idle q/k/v chunks (Figs. 4-5);
+* :mod:`repro.core.double_buffer`  — the prefetching double buffer that
+  overlaps host transfers with attention compute (Fig. 7);
+* :mod:`repro.core.fpdt_attention` — the chunked distributed attention:
+  per-chunk all-to-all, online attention against cached KV, and the
+  nested-loop backward;
+* :mod:`repro.core.fpdt_block`     — a full transformer block with
+  chunked attention, FFN chunking (2x attention chunks, §5.4);
+* :mod:`repro.core.fpdt_model`     — end-to-end model runner with the
+  chunked loss head and shuffled data layout.
+"""
+
+from repro.core.chunking import (
+    ChunkLayout,
+    shard_sequence,
+    unshard_sequence,
+)
+from repro.core.offload import ChunkCache
+from repro.core.double_buffer import DoubleBufferPrefetcher
+from repro.core.fpdt_attention import (
+    FPDTAttentionContext,
+    fpdt_attention_backward,
+    fpdt_attention_forward,
+)
+from repro.core.fpdt_block import (
+    FPDTBlockContext,
+    fpdt_block_backward,
+    fpdt_block_forward,
+)
+from repro.core.fpdt_model import FPDTModelRunner
+from repro.core.checkpoint import CheckpointedFPDTStack
+
+__all__ = [
+    "CheckpointedFPDTStack",
+    "ChunkLayout",
+    "shard_sequence",
+    "unshard_sequence",
+    "ChunkCache",
+    "DoubleBufferPrefetcher",
+    "FPDTAttentionContext",
+    "fpdt_attention_forward",
+    "fpdt_attention_backward",
+    "FPDTBlockContext",
+    "fpdt_block_forward",
+    "fpdt_block_backward",
+    "FPDTModelRunner",
+]

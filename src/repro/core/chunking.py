@@ -1,0 +1,133 @@
+"""Sequence chunking and the rank-ordinal shuffle (Fig. 6).
+
+FPDT slices each rank's local sequence into ``u`` chunks and all-to-alls
+one chunk at a time.  If ranks held naive contiguous shards, gathered
+chunk ``i`` would be a *strided* set of global segments and the causal
+mask would no longer be block-diagonal (the Fig. 6 problem).  The fix is
+a data-layout shuffle done **in the dataloader** (zero runtime cost):
+
+    token at (rank r, chunk i, offset t)  <->  global position
+        i * (P * c) + r * c + t,          c = s_local / u
+
+so that gathering chunk ``i`` across ranks (in rank order) yields the
+``i``-th *contiguous* global segment, and every gathered chunk pair
+``(i, j)`` interacts through a plain block-causal mask with offsets
+``i * P * c`` and ``j * P * c``.
+
+:class:`ChunkLayout` centralizes all of this index arithmetic; the
+shuffle itself is :func:`shard_sequence` / :func:`unshard_sequence`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class ChunkLayout:
+    """Geometry of an FPDT run.
+
+    Attributes
+    ----------
+    s_global:
+        Total sequence length.
+    world:
+        Sequence-parallel group size ``P``.
+    num_chunks:
+        Chunks per rank, the paper's ``u``.
+    """
+
+    s_global: int
+    world: int
+    num_chunks: int
+
+    def __post_init__(self) -> None:
+        if self.s_global % (self.world * self.num_chunks) != 0:
+            raise ShapeError(
+                f"sequence {self.s_global} not divisible by world*chunks "
+                f"({self.world} * {self.num_chunks})"
+            )
+
+    @property
+    def s_local(self) -> int:
+        """Tokens per rank."""
+        return self.s_global // self.world
+
+    @property
+    def chunk_len(self) -> int:
+        """Tokens per (rank, chunk) — the paper's ``s_local / u``."""
+        return self.s_local // self.num_chunks
+
+    @property
+    def gathered_chunk_len(self) -> int:
+        """Tokens in one gathered chunk, ``s_global / u`` (all ranks)."""
+        return self.s_global // self.num_chunks
+
+    def global_positions(self, rank: int, chunk: int) -> np.ndarray:
+        """Absolute positions of the tokens at (rank, chunk)."""
+        self._check(rank, chunk)
+        start = chunk * self.gathered_chunk_len + rank * self.chunk_len
+        return np.arange(start, start + self.chunk_len)
+
+    def gathered_offset(self, chunk: int) -> int:
+        """Global position of the first token of gathered chunk ``chunk``
+        — the ``q_offset``/``k_offset`` fed to the attention kernels."""
+        if not 0 <= chunk < self.num_chunks:
+            raise ShapeError(f"chunk {chunk} out of range")
+        return chunk * self.gathered_chunk_len
+
+    def local_slice(self, chunk: int) -> slice:
+        """Slice of a rank's local tensor covering chunk ``chunk``."""
+        if not 0 <= chunk < self.num_chunks:
+            raise ShapeError(f"chunk {chunk} out of range")
+        return slice(chunk * self.chunk_len, (chunk + 1) * self.chunk_len)
+
+    def shard_indices(self, rank: int) -> np.ndarray:
+        """Global indices (length ``s_local``) of rank ``rank``'s tokens,
+        chunk-major — the dataloader shuffle of Fig. 6."""
+        if not 0 <= rank < self.world:
+            raise ShapeError(f"rank {rank} out of range")
+        return np.concatenate(
+            [self.global_positions(rank, i) for i in range(self.num_chunks)]
+        )
+
+    def _check(self, rank: int, chunk: int) -> None:
+        if not 0 <= rank < self.world:
+            raise ShapeError(f"rank {rank} out of range for world {self.world}")
+        if not 0 <= chunk < self.num_chunks:
+            raise ShapeError(f"chunk {chunk} out of range for u={self.num_chunks}")
+
+
+def shard_sequence(
+    x: np.ndarray, layout: ChunkLayout, *, axis: int = 1
+) -> list[np.ndarray]:
+    """Distribute a global-sequence array to per-rank shards under the
+    rank-ordinal shuffle.  Works for token ids ``[b, s]`` (axis=1) and
+    hidden states ``[b, s, h]`` alike."""
+    if x.shape[axis] != layout.s_global:
+        raise ShapeError(
+            f"axis {axis} has {x.shape[axis]} tokens, layout expects {layout.s_global}"
+        )
+    return [np.take(x, layout.shard_indices(r), axis=axis) for r in range(layout.world)]
+
+
+def unshard_sequence(
+    shards: list[np.ndarray], layout: ChunkLayout, *, axis: int = 1
+) -> np.ndarray:
+    """Inverse of :func:`shard_sequence`: reassemble the global order."""
+    if len(shards) != layout.world:
+        raise ShapeError(f"expected {layout.world} shards, got {len(shards)}")
+    out_shape = list(shards[0].shape)
+    out_shape[axis] = layout.s_global
+    out = np.empty(out_shape, dtype=shards[0].dtype)
+    for rank, shard in enumerate(shards):
+        idx = layout.shard_indices(rank)
+        # out[..., idx, ...] = shard
+        key: list = [slice(None)] * out.ndim
+        key[axis] = idx
+        out[tuple(key)] = shard
+    return out

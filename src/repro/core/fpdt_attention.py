@@ -1,0 +1,376 @@
+"""FPDT chunked distributed attention (§4.1-4.2, Figs. 4, 5, 7).
+
+Forward, per sequence chunk ``i`` (of ``u`` chunks per rank):
+
+1. the caller projects chunk ``i``'s tokens to ``q_i, k_i, v_i``
+   (``[b, c, H, d]`` — a *fraction 1/u* of the Ulysses working set);
+2. one all-to-all scatters heads / gathers sequence:
+   ``q̂_i, k̂_i, v̂_i`` are ``[b, s_global/u, h_local, d]`` and, thanks to
+   the rank-ordinal shuffle, gathered chunk ``i`` is the ``i``-th
+   contiguous global segment;
+3. online attention folds the cached chunks ``k̂_j, v̂_j (j < i)`` —
+   fetched from host one at a time through the double buffer — and the
+   diagonal chunk into ``q̂_i``'s running state;
+4. ``q̂_i, k̂_i, v̂_i`` are offloaded to host for the backward pass and
+   the normalized output chunk ``ô_i`` is all-to-all'd back.
+
+Backward is the Fig. 7 nested loop: the **outer** loop walks KV chunks
+``j``, the **inner** loop walks query chunks ``i >= j``.  ``dk̂_j, dv̂_j``
+accumulate on-device across the inner loop and are final when it ends;
+``dq̂_i`` accumulates on *host* across outer iterations and is final at
+outer iteration ``j == i`` (its diagonal).  Finalized ``(dq̂_j, dk̂_j,
+dv̂_j)`` are immediately all-to-all'd back so the caller can run the
+projection backward for chunk ``j`` while later chunks are still in
+flight.
+
+With ``offload=False`` the cached chunks simply stay in HBM ("FPDT w/
+chunking" in Fig. 11/12); the numerics are identical, only the pools
+tell the difference — which the tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.core.chunking import ChunkLayout
+from repro.core.double_buffer import DoubleBufferPrefetcher
+from repro.core.offload import ChunkCache
+from repro.models.attention import (
+    OnlineSoftmaxState,
+    attention_block_backward,
+    block_is_visible,
+    compute_delta,
+    finalize_online,
+    online_block_update,
+)
+from repro.runtime.collectives import all_to_all
+from repro.runtime.device import VirtualCluster, as_device_tensors
+from repro.runtime.tensor import DeviceTensor
+
+ACT_DTYPE = DType.BF16
+
+
+def _attn_fwd_flops(b: int, sq: int, sk: int, h: int, d: int) -> float:
+    """2 matmuls (scores, PV) of the online update."""
+    return 4.0 * b * h * sq * sk * d
+
+
+def _attn_bwd_flops(b: int, sq: int, sk: int, h: int, d: int) -> float:
+    """Score recompute + dv + dp + dq + dk: 5 matmuls."""
+    return 10.0 * b * h * sq * sk * d
+
+
+@dataclass
+class FPDTAttentionContext:
+    """Saved state of one FPDT attention forward."""
+
+    layout: ChunkLayout
+    offloaded: bool
+    cache: ChunkCache
+    # Per-rank, per-chunk saved attention outputs and LSE (host-resident).
+    o_hat: list[list[np.ndarray]]
+    lse: list[list[np.ndarray]]
+    # Sliding-window span; None = full causal attention.
+    window: int | None = None
+    # offload=False keeps the gathered q/k/v chunks live on HBM instead.
+    device_qkv: dict = field(default_factory=dict)
+
+    def release(self) -> None:
+        """Free every cached chunk (called when the backward finishes)."""
+        self.cache.clear()
+        for tensor in self.device_qkv.values():
+            if tensor.is_live:
+                tensor.free()
+        self.device_qkv.clear()
+
+
+class _ChunkStore:
+    """Uniform store/fetch over host cache (offload) or HBM (no offload)."""
+
+    def __init__(self, cluster: VirtualCluster, ctx: FPDTAttentionContext):
+        self.cluster = cluster
+        self.ctx = ctx
+
+    def store(self, kind: str, rank: int, chunk: int, tensor: DeviceTensor) -> None:
+        if self.ctx.offloaded:
+            self.ctx.cache.store((kind, rank, chunk), tensor, self.cluster.devices[rank])
+        else:
+            self.ctx.device_qkv[(kind, rank, chunk)] = tensor
+
+    def data(self, kind: str, rank: int, chunk: int) -> np.ndarray:
+        """The chunk's array for on-device compute.  Offloaded chunks must
+        be fetched through a prefetcher instead; this accessor is for the
+        non-offloaded (HBM-resident) mode."""
+        if self.ctx.offloaded:
+            raise RuntimeError("offloaded chunks must be fetched, not peeked")
+        return self.ctx.device_qkv[(kind, rank, chunk)].data
+
+
+def fpdt_attention_forward(
+    cluster: VirtualCluster,
+    layout: ChunkLayout,
+    q_chunks: list[list[np.ndarray]],
+    k_chunks: list[list[np.ndarray]],
+    v_chunks: list[list[np.ndarray]],
+    *,
+    offload: bool = True,
+    scale: float | None = None,
+    prefetch_depth: int = 2,
+    window: int | None = None,
+) -> tuple[list[list[np.ndarray]], FPDTAttentionContext]:
+    """Run the chunked distributed attention.
+
+    ``q_chunks[r][i]`` is rank ``r``'s ``i``-th local chunk,
+    ``[b, chunk_len, H, d]`` (GQA already expanded).  Returns per-rank
+    per-chunk local attention outputs (same shape as ``q_chunks``) and
+    the context for :func:`fpdt_attention_backward`.
+
+    With sliding-window attention (``window``), KV chunks entirely
+    behind the window are **neither fetched nor computed** — the chunk
+    pipeline composes with windowed attention to bound both compute and
+    PCIe traffic per query chunk.
+    """
+    world, u = layout.world, layout.num_chunks
+    b, c, h, d = q_chunks[0][0].shape
+    if c != layout.chunk_len:
+        raise ValueError(f"chunk length {c} does not match layout {layout.chunk_len}")
+    scale = scale if scale is not None else 1.0 / np.sqrt(d)
+    big_c = layout.gathered_chunk_len
+    h_local = h // world
+
+    ctx = FPDTAttentionContext(
+        layout=layout, offloaded=offload, cache=ChunkCache(cluster),
+        window=window,
+        o_hat=[[None] * u for _ in range(world)],
+        lse=[[None] * u for _ in range(world)],
+    )
+    store = _ChunkStore(cluster, ctx)
+    o_local: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
+
+    for i in range(u):
+        # (1-2) chunk all-to-all: scatter heads, gather sequence.
+        q_dev = as_device_tensors(cluster, [q_chunks[r][i] for r in range(world)], ACT_DTYPE, "fpdt.q")
+        k_dev = as_device_tensors(cluster, [k_chunks[r][i] for r in range(world)], ACT_DTYPE, "fpdt.k")
+        v_dev = as_device_tensors(cluster, [v_chunks[r][i] for r in range(world)], ACT_DTYPE, "fpdt.v")
+        q_hat = all_to_all(cluster, q_dev, split_axis=2, concat_axis=1, tag="fpdt.q")
+        k_hat = all_to_all(cluster, k_dev, split_axis=2, concat_axis=1, tag="fpdt.k")
+        v_hat = all_to_all(cluster, v_dev, split_axis=2, concat_axis=1, tag="fpdt.v")
+
+        states = [OnlineSoftmaxState.zeros(b, big_c, h_local, d) for _ in range(world)]
+        q_off = layout.gathered_offset(i)
+
+        # (3) fold cached chunks j < i that the (window-)mask can see,
+        # double-buffered from host.  Invisible chunks are skipped
+        # entirely: no fetch, no compute.
+        visible = [
+            j for j in range(i)
+            if block_is_visible(big_c, big_c, q_off, layout.gathered_offset(j), window)
+        ]
+        if offload:
+            prefetchers = [
+                {
+                    "k": DoubleBufferPrefetcher(ctx.cache, cluster.devices[r], depth=prefetch_depth),
+                    "v": DoubleBufferPrefetcher(ctx.cache, cluster.devices[r], depth=prefetch_depth),
+                }
+                for r in range(world)
+            ]
+            if visible:
+                for r in range(world):
+                    prefetchers[r]["k"].prefetch(("k", r, visible[0]))
+                    prefetchers[r]["v"].prefetch(("v", r, visible[0]))
+        for idx, j in enumerate(visible):
+            for r in range(world):
+                if offload:
+                    if idx + 1 < len(visible):
+                        nxt = visible[idx + 1]
+                        prefetchers[r]["k"].prefetch(("k", r, nxt))
+                        prefetchers[r]["v"].prefetch(("v", r, nxt))
+                    k_t = prefetchers[r]["k"].wait(("k", r, j))
+                    v_t = prefetchers[r]["v"].wait(("v", r, j))
+                    k_arr, v_arr = k_t.data, v_t.data
+                else:
+                    k_arr = store.data("k", r, j)
+                    v_arr = store.data("v", r, j)
+                online_block_update(
+                    states[r], q_hat[r].data, k_arr, v_arr,
+                    scale=scale, q_offset=q_off, k_offset=layout.gathered_offset(j),
+                    window=window,
+                )
+                cluster.devices[r].compute(
+                    "fpdt.attn_fwd", flops=_attn_fwd_flops(b, big_c, big_c, h_local, d)
+                )
+                if offload:
+                    k_t.free()
+                    v_t.free()
+        # diagonal chunk.
+        for r in range(world):
+            online_block_update(
+                states[r], q_hat[r].data, k_hat[r].data, v_hat[r].data,
+                scale=scale, q_offset=q_off, k_offset=q_off, window=window,
+            )
+            cluster.devices[r].compute(
+                "fpdt.attn_fwd", flops=_attn_fwd_flops(b, big_c, big_c, h_local, d) / 2
+            )
+
+        # (4) finalize, save, all-to-all the output chunk back.
+        o_dev = []
+        for r in range(world):
+            o, lse = finalize_online(states[r])
+            ctx.o_hat[r][i] = o
+            ctx.lse[r][i] = lse
+            o_dev.append(cluster.devices[r].from_numpy(o, ACT_DTYPE, "fpdt.o"))
+            store.store("q", r, i, q_hat[r])
+            store.store("k", r, i, k_hat[r])
+            store.store("v", r, i, v_hat[r])
+        o_back = all_to_all(cluster, o_dev, split_axis=1, concat_axis=2, tag="fpdt.o")
+        for r, t in enumerate(o_back):
+            o_local[r][i] = t.free()
+    return o_local, ctx
+
+
+def fpdt_attention_backward(
+    cluster: VirtualCluster,
+    ctx: FPDTAttentionContext,
+    do_chunks: list[list[np.ndarray]],
+    *,
+    scale: float | None = None,
+    prefetch_depth: int = 2,
+) -> tuple[list[list[np.ndarray]], list[list[np.ndarray]], list[list[np.ndarray]]]:
+    """The nested-loop backward of Fig. 7.
+
+    ``do_chunks[r][i]`` is the local-layout output gradient of chunk
+    ``i`` on rank ``r``.  Returns ``(dq, dk, dv)`` in the same local
+    per-rank per-chunk layout, ready for the projection backward.
+    The context's cached chunks are released on completion.
+    """
+    layout = ctx.layout
+    world, u = layout.world, layout.num_chunks
+    b, c, h, d = do_chunks[0][0].shape
+    scale = scale if scale is not None else 1.0 / np.sqrt(d)
+    big_c = layout.gathered_chunk_len
+    h_local = h // world
+    offload = ctx.offloaded
+    cache = ctx.cache
+    window = ctx.window
+    store = _ChunkStore(cluster, ctx)
+
+    # All-to-all every do chunk into the gathered layout once, compute its
+    # delta, and stage it in the same cache as q/k/v (it is re-fetched by
+    # every outer iteration j <= i).
+    deltas: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
+    for i in range(u):
+        do_dev = as_device_tensors(
+            cluster, [do_chunks[r][i] for r in range(world)], ACT_DTYPE, "fpdt.do"
+        )
+        do_hat = all_to_all(cluster, do_dev, split_axis=2, concat_axis=1, tag="fpdt.do")
+        for r in range(world):
+            deltas[r][i] = compute_delta(ctx.o_hat[r][i], do_hat[r].data)
+            store.store("do", r, i, do_hat[r])
+
+    # Host-resident dq accumulators (fetched/updated per inner iteration).
+    dq_host: list[list[np.ndarray]] = [
+        [np.zeros((b, big_c, h_local, d)) for _ in range(u)] for _ in range(world)
+    ]
+    dq_local: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
+    dk_local: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
+    dv_local: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
+
+    for j in range(u):  # outer loop: KV chunks
+        k_off = layout.gathered_offset(j)
+        visible_q = [
+            i for i in range(j, u)
+            if block_is_visible(big_c, big_c, layout.gathered_offset(i), k_off, window)
+        ]
+        if offload:
+            kv_pref = [
+                {
+                    "k": DoubleBufferPrefetcher(cache, cluster.devices[r], depth=prefetch_depth),
+                    "v": DoubleBufferPrefetcher(cache, cluster.devices[r], depth=prefetch_depth),
+                    "q": DoubleBufferPrefetcher(cache, cluster.devices[r], depth=prefetch_depth),
+                    "do": DoubleBufferPrefetcher(cache, cluster.devices[r], depth=prefetch_depth),
+                }
+                for r in range(world)
+            ]
+            for r in range(world):
+                kv_pref[r]["k"].prefetch(("k", r, j))
+                kv_pref[r]["v"].prefetch(("v", r, j))
+                if visible_q:
+                    kv_pref[r]["q"].prefetch(("q", r, visible_q[0]))
+                    kv_pref[r]["do"].prefetch(("do", r, visible_q[0]))
+            k_cur = [kv_pref[r]["k"].wait(("k", r, j)) for r in range(world)]
+            v_cur = [kv_pref[r]["v"].wait(("v", r, j)) for r in range(world)]
+
+        # float64 accumulators (accounted at activation width): gradient
+        # accumulation runs at full precision like the reference backward.
+        dk_acc = [
+            cluster.devices[r].from_numpy(
+                np.zeros((b, big_c, h_local, d)), ACT_DTYPE, "fpdt.dk_acc"
+            )
+            for r in range(world)
+        ]
+        dv_acc = [
+            cluster.devices[r].from_numpy(
+                np.zeros((b, big_c, h_local, d)), ACT_DTYPE, "fpdt.dv_acc"
+            )
+            for r in range(world)
+        ]
+
+        for pos, i in enumerate(visible_q):  # inner loop: visible query chunks
+            q_off = layout.gathered_offset(i)
+            for r in range(world):
+                if offload:
+                    if pos + 1 < len(visible_q):
+                        nxt = visible_q[pos + 1]
+                        kv_pref[r]["q"].prefetch(("q", r, nxt))
+                        kv_pref[r]["do"].prefetch(("do", r, nxt))
+                    q_t = kv_pref[r]["q"].wait(("q", r, i))
+                    do_t = kv_pref[r]["do"].wait(("do", r, i))
+                    q_arr, do_arr = q_t.data, do_t.data
+                    k_arr, v_arr = k_cur[r].data, v_cur[r].data
+                else:
+                    q_arr = store.data("q", r, i)
+                    do_arr = store.data("do", r, i)
+                    k_arr = store.data("k", r, j)
+                    v_arr = store.data("v", r, j)
+                dq_p, dk_p, dv_p = attention_block_backward(
+                    q_arr, k_arr, v_arr, do_arr, ctx.lse[r][i], deltas[r][i],
+                    scale=scale, q_offset=q_off, k_offset=k_off, window=window,
+                )
+                cluster.devices[r].compute(
+                    "fpdt.attn_bwd",
+                    flops=_attn_bwd_flops(b, big_c, big_c, h_local, d) / (2 if i == j else 1),
+                )
+                dq_host[r][i] += dq_p
+                dk_acc[r].data += dk_p
+                dv_acc[r].data += dv_p
+                if offload:
+                    q_t.free()
+                    do_t.free()
+        if offload:
+            for r in range(world):
+                k_cur[r].free()
+                v_cur[r].free()
+                kv_pref[r]["q"].drain()
+                kv_pref[r]["do"].drain()
+
+        # dq_j, dk_j, dv_j are final: all-to-all back to the local layout
+        # so the caller can run projection backward for chunk j now.
+        dq_dev = [
+            cluster.devices[r].from_numpy(dq_host[r][j], ACT_DTYPE, "fpdt.dq")
+            for r in range(world)
+        ]
+        dq_b = all_to_all(cluster, dq_dev, split_axis=1, concat_axis=2, tag="fpdt.dq")
+        dk_b = all_to_all(cluster, dk_acc, split_axis=1, concat_axis=2, tag="fpdt.dk")
+        dv_b = all_to_all(cluster, dv_acc, split_axis=1, concat_axis=2, tag="fpdt.dv")
+        for r in range(world):
+            dq_local[r][j] = dq_b[r].free()
+            dk_local[r][j] = dk_b[r].free()
+            dv_local[r][j] = dv_b[r].free()
+        for r in range(world):
+            dq_host[r][j] = None  # release the host accumulator
+
+    ctx.release()
+    return dq_local, dk_local, dv_local

@@ -1,0 +1,206 @@
+"""A full transformer block under FPDT (§4.1 + §5.4).
+
+The hidden-state path is chunked end to end:
+
+* QKV projection runs per sequence chunk (``u`` chunks), so the 3x
+  projection blow-up of Table 2 materializes only ``1/u`` at a time;
+* attention is :func:`repro.core.fpdt_attention.fpdt_attention_forward`;
+* the output projection runs per chunk as the attention chunks land;
+* the FFN runs at **twice** the attention chunk count (§5.4: "setting
+  the number of chunks in the FFN to be twice that of the attention is
+  sufficient to ensure that the attention part strictly binds the
+  memory footprint") — FFN chunks are never offloaded because a
+  token-local O(N) op can't hide PCIe latency behind compute.
+
+The backward pass mirrors Fig. 13's profile: FFN gradients first
+(2u chunks), then the attention nested loop, with the projection
+backward of chunk ``j`` running as soon as the attention loop finalizes
+chunk ``j``'s gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.core.chunking import ChunkLayout
+from repro.core.fpdt_attention import (
+    FPDTAttentionContext,
+    fpdt_attention_backward,
+    fpdt_attention_forward,
+)
+from repro.models.block_ops import (
+    Grads,
+    accumulate_grads,
+    attn_post_backward,
+    attn_post_forward,
+    attn_pre_backward,
+    attn_pre_forward,
+    ffn_backward,
+    ffn_forward,
+)
+from repro.models.config import ModelConfig
+from repro.runtime.device import VirtualCluster
+
+ACT_DTYPE = DType.BF16
+
+
+@dataclass
+class FPDTBlockContext:
+    """Saved forward state of one FPDT block."""
+
+    layout: ChunkLayout
+    attn_ctx: FPDTAttentionContext
+    pre_caches: list[list[dict]]  # [rank][chunk]
+    post_caches: list[list[dict]]
+    ffn_caches: list[list[dict]]  # [rank][ffn_chunk] (2u chunks)
+    ffn_chunks: int
+
+
+def _ffn_bounds(s_local: int, n: int) -> list[tuple[int, int]]:
+    bounds = np.linspace(0, s_local, n + 1, dtype=int)
+    return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if lo < hi]
+
+
+def fpdt_block_forward(
+    cluster: VirtualCluster,
+    params: dict[str, np.ndarray],
+    cfg: ModelConfig,
+    layout: ChunkLayout,
+    x_shards: list[np.ndarray],
+    *,
+    offload: bool = True,
+    ffn_chunk_factor: int = 2,
+) -> tuple[list[np.ndarray], FPDTBlockContext]:
+    """One transformer block, fully chunked.
+
+    ``x_shards[r]`` is rank ``r``'s local hidden shard ``[b, s_local, H]``
+    in the rank-ordinal-shuffled layout of :class:`ChunkLayout`.
+    """
+    world, u = layout.world, layout.num_chunks
+    if cfg.num_heads % world != 0:
+        raise ValueError(
+            f"FPDT (Ulysses-based) needs num_heads ({cfg.num_heads}) "
+            f"divisible by world size ({world})"
+        )
+    if x_shards[0].shape[1] != layout.s_local:
+        raise ValueError(
+            f"shard length {x_shards[0].shape[1]} != layout s_local {layout.s_local}"
+        )
+
+    # Phase 1, chunked: per-chunk QKV projections with shuffled positions.
+    pre_caches: list[list[dict]] = [[None] * u for _ in range(world)]
+    q_chunks: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
+    k_chunks: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
+    v_chunks: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
+    for r in range(world):
+        for i in range(u):
+            sl = layout.local_slice(i)
+            qh, kh, vh, cache = attn_pre_forward(
+                params, cfg, x_shards[r][:, sl], layout.global_positions(r, i)
+            )
+            pre_caches[r][i] = cache
+            q_chunks[r][i] = qh
+            k_chunks[r][i] = kh
+            v_chunks[r][i] = vh
+
+    # Phase 2: chunked distributed attention with offloading (+ optional
+    # sliding window, under which out-of-window chunks are skipped).
+    o_chunks, attn_ctx = fpdt_attention_forward(
+        cluster, layout, q_chunks, k_chunks, v_chunks,
+        offload=offload, window=cfg.attention_window,
+    )
+
+    # Phase 3, chunked: output projection + residual per chunk.
+    post_caches: list[list[dict]] = [[None] * u for _ in range(world)]
+    mid_shards = []
+    for r in range(world):
+        mid = np.empty_like(x_shards[r])
+        for i in range(u):
+            sl = layout.local_slice(i)
+            y_chunk, cache = attn_post_forward(params, x_shards[r][:, sl], o_chunks[r][i])
+            post_caches[r][i] = cache
+            mid[:, sl] = y_chunk
+        mid_shards.append(mid)
+
+    # Phase 4: FFN at 2x the attention chunk count, never offloaded.
+    ffn_chunks = max(1, ffn_chunk_factor * u)
+    ffn_caches: list[list[dict]] = [[] for _ in range(world)]
+    y_shards = []
+    for r in range(world):
+        y = np.empty_like(mid_shards[r])
+        for lo, hi in _ffn_bounds(layout.s_local, ffn_chunks):
+            y_chunk, cache = ffn_forward(params, cfg, mid_shards[r][:, lo:hi])
+            ffn_caches[r].append(cache)
+            y[:, lo:hi] = y_chunk
+            cluster.devices[r].compute("fpdt.ffn_fwd", nbytes=(hi - lo))
+        y_shards.append(y)
+
+    ctx = FPDTBlockContext(
+        layout=layout, attn_ctx=attn_ctx, pre_caches=pre_caches,
+        post_caches=post_caches, ffn_caches=ffn_caches, ffn_chunks=ffn_chunks,
+    )
+    return y_shards, ctx
+
+
+def fpdt_block_backward(
+    cluster: VirtualCluster,
+    cfg: ModelConfig,
+    ctx: FPDTBlockContext,
+    dy_shards: list[np.ndarray],
+) -> tuple[list[np.ndarray], Grads]:
+    """Backward of :func:`fpdt_block_forward`; FFN first (Fig. 13), then
+    the attention nested loop with per-chunk projection backward.
+
+    Returns per-rank input gradients and parameter gradients summed over
+    ranks and chunks.
+    """
+    layout = ctx.layout
+    world, u = layout.world, layout.num_chunks
+    grads: Grads = {}
+
+    # FFN backward, 2u chunks.
+    dmid_shards = []
+    for r in range(world):
+        dmid = np.empty_like(dy_shards[r])
+        for (lo, hi), cache in zip(
+            _ffn_bounds(layout.s_local, ctx.ffn_chunks), ctx.ffn_caches[r]
+        ):
+            dx_chunk, g = ffn_backward(dy_shards[r][:, lo:hi], cache)
+            accumulate_grads(grads, g)
+            dmid[:, lo:hi] = dx_chunk
+            cluster.devices[r].compute("fpdt.ffn_bwd", nbytes=(hi - lo))
+        dmid_shards.append(dmid)
+
+    # Output-projection backward per chunk -> do chunks in local layout.
+    do_chunks: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
+    dres_chunks: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
+    for r in range(world):
+        for i in range(u):
+            sl = layout.local_slice(i)
+            do, dres, g = attn_post_backward(dmid_shards[r][:, sl], ctx.post_caches[r][i])
+            accumulate_grads(grads, g)
+            do_chunks[r][i] = do
+            dres_chunks[r][i] = dres
+
+    # Attention nested-loop backward.
+    dq_chunks, dk_chunks, dv_chunks = fpdt_attention_backward(
+        cluster, ctx.attn_ctx, do_chunks
+    )
+
+    # QKV-projection backward per chunk (+ residual assembly).
+    dx_shards = []
+    for r in range(world):
+        dx = np.empty_like(dy_shards[r])
+        for i in range(u):
+            sl = layout.local_slice(i)
+            dx_pre, g = attn_pre_backward(
+                cfg, dq_chunks[r][i], dk_chunks[r][i], dv_chunks[r][i],
+                ctx.pre_caches[r][i],
+            )
+            accumulate_grads(grads, g)
+            dx[:, sl] = dres_chunks[r][i] + dx_pre
+        dx_shards.append(dx)
+    return dx_shards, grads

@@ -1,0 +1,248 @@
+"""End-to-end FPDT model execution.
+
+Drives a :class:`repro.models.transformer.GPTModel`'s parameters through
+the FPDT pipeline on a virtual cluster: rank-ordinal-shuffled input
+shards, chunked blocks, per-rank chunked loss head (§5.4), and a full
+backward returning gradients in the reference model's naming scheme —
+so the same optimizer step applies and the convergence experiment
+(Fig. 14) can compare FPDT against the baseline trainer token for token.
+
+The dataloader-side shuffle means labels are sharded with the *same*
+permutation as tokens (the paper: "we also reorder the labels
+accordingly, so that the loss still matches").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ShapeError
+from repro.core.chunking import ChunkLayout, shard_sequence, unshard_sequence
+from repro.core.fpdt_block import fpdt_block_backward, fpdt_block_forward
+from repro.models.block_ops import accumulate_grads
+from repro.models.layers import (
+    embedding_backward,
+    embedding_forward,
+    layernorm_backward,
+    layernorm_forward,
+    rmsnorm_backward,
+    rmsnorm_forward,
+)
+from repro.models.loss import (
+    IGNORE_INDEX,
+    chunked_lm_head_backward,
+    chunked_lm_head_forward,
+    suggested_loss_chunks,
+)
+from repro.models.transformer import GPTModel
+from repro.runtime.device import VirtualCluster
+
+
+class FPDTModelRunner:
+    """Run training steps of ``model`` under FPDT on ``cluster``.
+
+    Parameters
+    ----------
+    model:
+        The parameter source; its weights are shared (not copied), so an
+        optimizer can update ``model`` and the runner sees the new values.
+    cluster:
+        Virtual cluster; its world size is the sequence-parallel degree.
+    num_chunks:
+        FPDT chunks per rank (the paper's ``u``).
+    offload:
+        Offload cached q/k/v chunks to host (False = "w/ chunking only").
+    loss_chunks:
+        Vocabulary-chunk count for the loss head; defaults to the paper's
+        ``2 * vocab / hidden`` rule.
+    activation_checkpoint:
+        Run the blocks through :class:`~repro.core.checkpoint
+        .CheckpointedFPDTStack` (the paper's default AC+OC): layer inputs
+        offload to host and the backward recomputes each layer's forward.
+        Numerics are unchanged; memory residency is.
+    """
+
+    def __init__(
+        self,
+        model: GPTModel,
+        cluster: VirtualCluster,
+        *,
+        num_chunks: int,
+        offload: bool = True,
+        ffn_chunk_factor: int = 2,
+        loss_chunks: int | None = None,
+        activation_checkpoint: bool = False,
+    ):
+        self.model = model
+        self.cluster = cluster
+        self.num_chunks = num_chunks
+        self.offload = offload
+        self.ffn_chunk_factor = ffn_chunk_factor
+        self.activation_checkpoint = activation_checkpoint
+        cfg = model.config
+        self.loss_chunks = (
+            loss_chunks
+            if loss_chunks is not None
+            else suggested_loss_chunks(cfg.vocab_size, cfg.hidden_size)
+        )
+
+    def _layout(self, s_global: int) -> ChunkLayout:
+        return ChunkLayout(s_global, self.cluster.world_size, self.num_chunks)
+
+    # ------------------------------------------------------------------
+
+    def forward_backward(
+        self, tokens: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, dict[str, np.ndarray]]:
+        """One full step: returns ``(loss, grads)`` where ``grads`` uses
+        the reference model's flat parameter names (summed over ranks,
+        i.e. the post-all-reduce gradients)."""
+        if tokens.shape != labels.shape or tokens.ndim != 2:
+            raise ShapeError(
+                f"tokens/labels must be matching [b, s], got {tokens.shape}, {labels.shape}"
+            )
+        model, cfg, cluster = self.model, self.model.config, self.cluster
+        layout = self._layout(tokens.shape[1])
+        world = cluster.world_size
+
+        token_shards = shard_sequence(tokens, layout)
+        label_shards = shard_sequence(labels, layout)
+        positions = [layout.shard_indices(r) for r in range(world)]
+
+        # Embedding (+ learned positions for GPT), token-local.
+        x_shards, embed_caches = [], []
+        for r in range(world):
+            x, cache = embedding_forward(token_shards[r], model.params["embed.table"])
+            if not cfg.uses_rope:
+                table = model.params["embed.positions"]
+                if positions[r].max() >= table.shape[0]:
+                    raise ShapeError("sequence longer than position table")
+                x = x + table[positions[r]][None, :, :]
+            x_shards.append(x)
+            embed_caches.append(cache)
+
+        # Chunked blocks: with AC, layer state is dropped and recomputed
+        # in the backward from host-offloaded checkpoints.
+        block_ctxs = []
+        ckpt_stack = None
+        if self.activation_checkpoint:
+            from repro.core.checkpoint import CheckpointedFPDTStack
+
+            ckpt_stack = CheckpointedFPDTStack(
+                model.blocks, cluster, layout,
+                offload_chunks=self.offload, ffn_chunk_factor=self.ffn_chunk_factor,
+            )
+            x_shards = ckpt_stack.forward(x_shards)
+        else:
+            for block in model.blocks:
+                x_shards, ctx = fpdt_block_forward(
+                    cluster, block.params, cfg, layout, x_shards,
+                    offload=self.offload, ffn_chunk_factor=self.ffn_chunk_factor,
+                )
+                block_ctxs.append(ctx)
+
+        # Final norm + chunked loss head, per rank.
+        n_valid_global = int(np.sum(labels != IGNORE_INDEX))
+        total_loss = 0.0
+        fn_caches, head_caches = [], []
+        for r in range(world):
+            if cfg.arch == "gpt":
+                normed, fn_cache = layernorm_forward(
+                    x_shards[r],
+                    model.params["final_norm.gamma"],
+                    model.params["final_norm.beta"],
+                )
+            else:
+                normed, fn_cache = rmsnorm_forward(
+                    x_shards[r], model.params["final_norm.gamma"]
+                )
+            b, s_local, h = normed.shape
+            flat_labels = label_shards[r].reshape(b * s_local)
+            loss_r, head_cache = chunked_lm_head_forward(
+                normed.reshape(b * s_local, h),
+                model.params["embed.table"],
+                flat_labels,
+                num_chunks=self.loss_chunks,
+            )
+            n_valid_r = int(np.sum(flat_labels != IGNORE_INDEX))
+            total_loss += loss_r * n_valid_r
+            fn_caches.append(fn_cache)
+            head_caches.append((head_cache, n_valid_r, (b, s_local, h)))
+        loss = total_loss / max(n_valid_global, 1)
+
+        # ---------------- backward ----------------
+        grads: dict[str, np.ndarray] = {}
+        dx_shards = []
+        dembed_head_total = 0
+        for r in range(world):
+            head_cache, n_valid_r, (b, s_local, h) = head_caches[r]
+            # Rescale the per-rank mean gradient to the global mean.
+            scale = n_valid_r / max(n_valid_global, 1)
+            dhid_flat, dembed_head = chunked_lm_head_backward(head_cache, grad_scale=scale)
+            dembed_head_total = dembed_head_total + dembed_head
+            dnormed = dhid_flat.reshape(b, s_local, h)
+            if cfg.arch == "gpt":
+                dx, dg, dbeta = layernorm_backward(dnormed, fn_caches[r])
+                accumulate_grads(grads, {"final_norm.gamma": dg, "final_norm.beta": dbeta})
+            else:
+                dx, dg = rmsnorm_backward(dnormed, fn_caches[r])
+                accumulate_grads(grads, {"final_norm.gamma": dg})
+            dx_shards.append(dx)
+
+        if ckpt_stack is not None:
+            dx_shards, stack_grads = ckpt_stack.backward(dx_shards)
+            accumulate_grads(grads, stack_grads)
+        else:
+            for block, ctx in zip(reversed(model.blocks), reversed(block_ctxs)):
+                dx_shards, block_grads = fpdt_block_backward(cluster, cfg, ctx, dx_shards)
+                accumulate_grads(
+                    grads, {f"{block.name}.{k}": v for k, v in block_grads.items()}
+                )
+
+        # Embedding backward (positions table + token table), summed over ranks.
+        dtable_total = dembed_head_total
+        dpos_total = None
+        for r in range(world):
+            if not cfg.uses_rope:
+                if dpos_total is None:
+                    dpos_total = np.zeros_like(model.params["embed.positions"])
+                np.add.at(dpos_total, positions[r], dx_shards[r].sum(axis=0))
+            dtable_total = dtable_total + embedding_backward(dx_shards[r], embed_caches[r])
+        grads["embed.table"] = dtable_total
+        if dpos_total is not None:
+            grads["embed.positions"] = dpos_total
+        return loss, grads
+
+    # ------------------------------------------------------------------
+
+    def forward_hidden(self, tokens: np.ndarray) -> np.ndarray:
+        """Global-order final-norm hidden states (diagnostics/tests)."""
+        model, cfg, cluster = self.model, self.model.config, self.cluster
+        layout = self._layout(tokens.shape[1])
+        world = cluster.world_size
+        token_shards = shard_sequence(tokens, layout)
+        positions = [layout.shard_indices(r) for r in range(world)]
+        x_shards = []
+        for r in range(world):
+            x, _ = embedding_forward(token_shards[r], model.params["embed.table"])
+            if not cfg.uses_rope:
+                x = x + model.params["embed.positions"][positions[r]][None, :, :]
+            x_shards.append(x)
+        for block in model.blocks:
+            x_shards, ctx = fpdt_block_forward(
+                cluster, block.params, cfg, layout, x_shards,
+                offload=self.offload, ffn_chunk_factor=self.ffn_chunk_factor,
+            )
+            ctx.attn_ctx.release()
+        outs = []
+        for r in range(world):
+            if cfg.arch == "gpt":
+                normed, _ = layernorm_forward(
+                    x_shards[r],
+                    model.params["final_norm.gamma"],
+                    model.params["final_norm.beta"],
+                )
+            else:
+                normed, _ = rmsnorm_forward(x_shards[r], model.params["final_norm.gamma"])
+            outs.append(normed)
+        return unshard_sequence(outs, layout)

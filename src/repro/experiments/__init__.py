@@ -1,0 +1,14 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every module exposes ``run(fast=True) -> ExperimentResult`` (the ``fast``
+flag shrinks sweeps for CI) and can be executed directly::
+
+    python -m repro.experiments.table1
+    python -m repro.experiments.figure11
+
+``benchmarks/`` wraps these same entry points in pytest-benchmark.
+"""
+
+from repro.experiments.report import ExperimentResult, render
+
+__all__ = ["ExperimentResult", "render"]

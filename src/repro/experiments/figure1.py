@@ -1,0 +1,48 @@
+"""Figure 1: end-to-end MFU vs maximum context length *per GPU*.
+
+The paper's headline scatter: for 2.7B, 13B and 70B, each strategy is a
+point at (max supported context / GPU count, MFU at that context).  FPDT
+sits far right at equal-or-higher MFU.  Derived from the same sweep as
+Figure 11.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import format_tokens
+from repro.experiments.figure11 import MODEL_SETUPS, _node, sweep_model
+from repro.experiments.report import ExperimentResult, print_result
+from repro.models import MODEL_ZOO
+
+FIG1_MODELS = ["gpt-2.7b", "gpt-13b", "llama-70b"]
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    """Regenerate Figure 1; ``fast`` restricts to one model."""
+    models = FIG1_MODELS[:1] if fast else FIG1_MODELS
+    result = ExperimentResult(
+        experiment="Figure 1",
+        title="MFU vs max context length per GPU (strategy points)",
+        columns=["model", "strategy", "max ctx/GPU", "MFU@max"],
+    )
+    points: dict[str, dict[str, tuple[int, float]]] = {}
+    for name, world, node_kind in MODEL_SETUPS:
+        if name not in models:
+            continue
+        cfg = MODEL_ZOO[name]
+        series = sweep_model(cfg, world, _node(node_kind))
+        points[name] = {}
+        for strat, pts in series.items():
+            supported = [(s, u) for s, u in pts if u is not None]
+            if not supported:
+                result.add_row(name, strat, "-", "-")
+                continue
+            s_max, util = supported[-1]
+            points[name][strat] = (s_max // world, util)
+            result.add_row(name, strat, format_tokens(s_max // world), f"{util:.1%}")
+    result.note("FPDT should sit rightmost (longest per-GPU context) at >= MFU")
+    result.data["points"] = points
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print_result(run(fast=False))

@@ -1,0 +1,98 @@
+"""Figure 11: supported sequence lengths and MFU per strategy per model.
+
+Six models, each on the paper's GPU assignment (2.7B/6.7B on one 4-GPU
+node — 40G for 2.7B, matching Table 1's hardware — Llama-8B on 4x80G,
+13B on 2 nodes, 30B on 4, 70B on 8).  For every strategy the sweep walks
+doubling sequence lengths until the capacity model declares OOM,
+recording MFU at each supported point — the data behind the paper's bar
+groups, including the "OOM" markers and the 8-16x FPDT extension.
+"""
+
+from __future__ import annotations
+
+from repro.common.units import format_tokens, parse_tokens
+from repro.experiments.report import ExperimentResult, print_result
+from repro.hardware import NodeSpec, paper_node_a100_40g, paper_node_a100_80g
+from repro.models import MODEL_ZOO, ModelConfig
+from repro.perfmodel import (
+    FPDT_CHUNKED,
+    FPDT_FULL,
+    MEGATRON_SP,
+    ULYSSES,
+    step_metrics,
+)
+
+# (model, world, node factory) per the paper's §5.2 layout.
+MODEL_SETUPS: list[tuple[str, int, str]] = [
+    ("gpt-2.7b", 4, "40G"),
+    ("gpt-6.7b", 4, "80G"),
+    ("llama-8b", 4, "80G"),
+    ("gpt-13b", 8, "80G"),
+    ("gpt-30b", 16, "80G"),
+    ("llama-70b", 32, "80G"),
+]
+
+STRATEGIES = [MEGATRON_SP, ULYSSES, FPDT_CHUNKED, FPDT_FULL]
+
+SWEEP = [parse_tokens(s) for s in (
+    "64K", "128K", "256K", "512K", "1M", "2M", "4M", "8M",
+)]
+
+
+def _node(kind: str) -> NodeSpec:
+    return paper_node_a100_40g() if kind == "40G" else paper_node_a100_80g()
+
+
+def sweep_model(
+    cfg: ModelConfig, world: int, node: NodeSpec, *, lengths=None
+) -> dict[str, list[tuple[int, float | None]]]:
+    """Per strategy: [(s, mfu-or-None)] — None marks the OOM point."""
+    lengths = lengths or SWEEP
+    out: dict[str, list[tuple[int, float | None]]] = {}
+    for strat in STRATEGIES:
+        series: list[tuple[int, float | None]] = []
+        for s in lengths:
+            if s % world != 0:
+                continue
+            sm = step_metrics(cfg, strat, s, world, node)
+            series.append((s, sm.mfu if sm.fits else None))
+            if not sm.fits:
+                break
+        out[strat.name] = series
+    return out
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    """Regenerate Figure 11; ``fast`` restricts to three models."""
+    setups = MODEL_SETUPS[:3] if fast else MODEL_SETUPS
+    result = ExperimentResult(
+        experiment="Figure 11",
+        title="MFU vs sequence length per strategy (OOM = first unsupported point)",
+        columns=["model", "strategy", "series (len:MFU)", "max len"],
+    )
+    all_series: dict[str, dict] = {}
+    for name, world, node_kind in setups:
+        cfg = MODEL_ZOO[name]
+        node = _node(node_kind)
+        series = sweep_model(cfg, world, node)
+        all_series[name] = series
+        for strat_name, points in series.items():
+            cells = []
+            max_ok = 0
+            for s, util in points:
+                if util is None:
+                    cells.append(f"{format_tokens(s)}:OOM")
+                else:
+                    cells.append(f"{format_tokens(s)}:{util:.0%}")
+                    max_ok = s
+            result.add_row(
+                name, strat_name, " ".join(cells),
+                format_tokens(max_ok) if max_ok else "-",
+            )
+    result.note("paper shape: FPDT extends max length 8-16x at equal-or-better MFU")
+    result.data["series"] = all_series
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print_result(run(fast=False))

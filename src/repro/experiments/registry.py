@@ -1,0 +1,41 @@
+"""Experiment registry: name -> run callable.
+
+One authoritative list of every regenerable table/figure/study, shared
+by the CLI and by the meta-test that keeps them all importable and
+runnable in fast mode.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Callable
+
+from repro.experiments.report import ExperimentResult
+
+EXPERIMENT_NAMES: tuple[str, ...] = (
+    "table1",
+    "table2",
+    "table3",
+    "figure1",
+    "figure8_9",
+    "figure10",
+    "figure11",
+    "figure12",
+    "figure13",
+    "figure14",
+    "scaling_study",
+    "hardware_sensitivity",
+)
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    """The ``run`` callable of experiment ``name``; KeyError if unknown."""
+    if name not in EXPERIMENT_NAMES:
+        raise KeyError(f"unknown experiment {name!r}; known: {EXPERIMENT_NAMES}")
+    module = importlib.import_module(f"repro.experiments.{name}")
+    return module.run
+
+
+def all_experiments() -> dict[str, Callable[..., ExperimentResult]]:
+    """Every experiment's ``run`` callable, keyed by name."""
+    return {name: get_experiment(name) for name in EXPERIMENT_NAMES}

@@ -1,0 +1,80 @@
+"""Extension: strong-scaling study (beyond the paper's tables).
+
+Table 1 fixes strategies and varies hardware per cell; this study reads
+the same models along the GPU axis and asks the questions a team sizing
+a cluster asks:
+
+* how does the maximum context scale with GPU count (FPDT's capacity
+  scaling, driven by ZeRO-3 sharding + chunking)?
+* at a fixed 256K context, how do step time, MFU and tokens/sec scale
+  — and where does inter-node communication bend the curve for each
+  strategy (the Megatron-SP cliff of §5.2)?
+"""
+
+from __future__ import annotations
+
+from repro.common.units import format_tokens, parse_tokens
+from repro.experiments.report import ExperimentResult, print_result
+from repro.hardware import paper_node_a100_80g
+from repro.models import MODEL_ZOO
+from repro.perfmodel import (
+    FPDT_FULL,
+    MEGATRON_SP,
+    ULYSSES,
+    max_context_length,
+    step_metrics,
+)
+
+GPU_COUNTS = (4, 8, 16, 32)
+FIXED_SEQ = parse_tokens("256K")
+
+
+def sweep(model_name: str) -> dict:
+    """Capacity and throughput across GPU counts for one model."""
+    cfg = MODEL_ZOO[model_name]
+    node = paper_node_a100_80g()
+    out: dict = {"capacity": {}, "throughput": {}}
+    for gpus in GPU_COUNTS:
+        out["capacity"][gpus] = max_context_length(cfg, FPDT_FULL, gpus, node)
+        out["throughput"][gpus] = {}
+        for strat in (MEGATRON_SP, ULYSSES, FPDT_FULL):
+            sm = step_metrics(cfg, strat, FIXED_SEQ, gpus, node)
+            tokens_per_s = FIXED_SEQ / sm.step_time if sm.fits else None
+            out["throughput"][gpus][strat.name] = {
+                "fits": sm.fits,
+                "mfu": sm.mfu,
+                "tokens_per_s": tokens_per_s,
+            }
+    return out
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    """Run the strong-scaling study; ``fast`` = one model."""
+    models = ["llama-8b"] if fast else ["llama-8b", "gpt-13b"]
+    result = ExperimentResult(
+        experiment="Scaling study",
+        title=f"Strong scaling on A100-80G nodes (fixed context {format_tokens(FIXED_SEQ)})",
+        columns=["model", "GPUs", "FPDT max ctx", "strategy", "MFU", "tokens/s"],
+    )
+    data = {}
+    for name in models:
+        data[name] = sweep(name)
+        for gpus in GPU_COUNTS:
+            cap = data[name]["capacity"][gpus]
+            for strat_name, row in data[name]["throughput"][gpus].items():
+                result.add_row(
+                    name, gpus,
+                    format_tokens(cap) if cap else "-",
+                    strat_name,
+                    f"{row['mfu']:.1%}" if row["fits"] else "OOM",
+                    f"{row['tokens_per_s']:.0f}" if row["tokens_per_s"] else "-",
+                )
+    result.note("capacity grows superlinearly at small counts (ZeRO-3 sharding "
+                "frees HBM) and ~linearly after")
+    result.note("Megatron-SP throughput bends once the group spans nodes (>4 GPUs)")
+    result.data["models"] = data
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print_result(run(fast=False))

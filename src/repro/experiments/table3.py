@@ -1,0 +1,143 @@
+"""Table 3: the training-strategy ablation on Llama-8B with 8 GPUs.
+
+Each row composes techniques exactly as the paper's checkmark columns do
+(TP / AC / OC / Ulysses / ZeRO-1/2/3 / FPDT) and reports the maximum
+sequence length, the HBM at that length, and the MFU — against the
+paper's measured numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import GIB, format_bytes, format_tokens, parse_tokens
+from repro.experiments.report import ExperimentResult, print_result
+from repro.hardware import paper_node_a100_80g
+from repro.models import LLAMA_8B
+from repro.perfmodel import FPDT_FULL, max_context_length, step_metrics
+from repro.perfmodel.strategies import TrainingStrategy
+
+
+@dataclass(frozen=True)
+class _Row:
+    label: str
+    strategy: TrainingStrategy
+    paper_max: str
+    paper_hbm_g: float
+    paper_mfu: float
+
+
+ROWS = [
+    _Row(
+        "TP", TrainingStrategy(
+            name="tp", parallelism="tp", sequence_parallel=False,
+            activation_checkpoint=False, checkpoint_offload=False,
+        ),
+        "32K", 64.3, 0.094,
+    ),
+    _Row(
+        "TP+AC", TrainingStrategy(
+            name="tp+ac", parallelism="tp", sequence_parallel=False,
+            activation_checkpoint=True, checkpoint_offload=False,
+        ),
+        "128K", 61.2, 0.194,
+    ),
+    _Row(
+        "TP+AC+OC", TrainingStrategy(
+            name="tp+ac+oc", parallelism="tp", sequence_parallel=False,
+            activation_checkpoint=True, checkpoint_offload=True,
+        ),
+        "512K", 78.7, 0.327,
+    ),
+    _Row(
+        "UL+Z1", TrainingStrategy(
+            name="ul+z1", parallelism="ulysses", zero_stage=1,
+            activation_checkpoint=False, checkpoint_offload=False,
+        ),
+        "64K", 58.9, 0.153,
+    ),
+    _Row(
+        "UL+Z2", TrainingStrategy(
+            name="ul+z2", parallelism="ulysses", zero_stage=2,
+            activation_checkpoint=False, checkpoint_offload=False,
+        ),
+        "64K", 54.5, 0.153,
+    ),
+    _Row(
+        "UL+Z3", TrainingStrategy(
+            name="ul+z3", parallelism="ulysses", zero_stage=3,
+            activation_checkpoint=False, checkpoint_offload=False,
+        ),
+        "64K", 52.3, 0.210,
+    ),
+    _Row(
+        "UL+AC+OC+Z1", TrainingStrategy(
+            name="ul+ac+oc+z1", parallelism="ulysses", zero_stage=1,
+        ),
+        "512K", 65.5, 0.468,
+    ),
+    _Row(
+        "UL+AC+OC+Z2", TrainingStrategy(
+            name="ul+ac+oc+z2", parallelism="ulysses", zero_stage=2,
+        ),
+        "512K", 65.5, 0.468,
+    ),
+    _Row(
+        "UL+AC+OC+Z3", TrainingStrategy(
+            name="ul+ac+oc+z3", parallelism="ulysses", zero_stage=3,
+        ),
+        "512K", 60.1, 0.472,
+    ),
+    _Row("FPDT(+AC+OC+Z3)", FPDT_FULL, "4M", 68.0, 0.557),
+]
+
+WORLD = 8
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    """Regenerate Table 3; ``fast`` restricts to five rows."""
+    node = paper_node_a100_80g()
+    rows = ROWS if not fast else [ROWS[0], ROWS[2], ROWS[5], ROWS[8], ROWS[9]]
+    result = ExperimentResult(
+        experiment="Table 3",
+        title="Training strategies on Llama-8B, 8x A100-80G (model vs paper)",
+        columns=[
+            "strategies", "max len", "paper", "HBM@max", "paper", "MFU@max", "paper",
+        ],
+    )
+    data = {}
+    for row in rows:
+        max_len = max_context_length(
+            LLAMA_8B, row.strategy, WORLD, node, granularity=parse_tokens("32K")
+        )
+        if max_len is None:
+            result.add_row(row.label, "-", row.paper_max, "-", "-", "-", "-")
+            continue
+        sm = step_metrics(LLAMA_8B, row.strategy, max_len, WORLD, node)
+        data[row.label] = {
+            "max_len": max_len,
+            "paper_max": parse_tokens(row.paper_max),
+            "hbm": sm.memory.device_total,
+            "paper_hbm": row.paper_hbm_g * GIB,
+            "mfu": sm.mfu,
+            "paper_mfu": row.paper_mfu,
+        }
+        result.add_row(
+            row.label,
+            format_tokens(max_len), row.paper_max,
+            format_bytes(sm.memory.device_total), f"{row.paper_hbm_g:.1f}G",
+            f"{sm.mfu:.1%}", f"{row.paper_mfu:.1%}",
+        )
+    result.note("HBM/MFU evaluated at each strategy's own maximum length")
+    result.note(
+        "known residual: the no-AC rows (TP, UL+Z*) model higher MFU than "
+        "measured — at 32-64K sequences the paper's steps are dominated by "
+        "framework overheads (dataloader, optimizer, launch latency) that "
+        "the roofline model excludes; ordering and max lengths still hold"
+    )
+    result.data["rows"] = data
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print_result(run(fast=False))

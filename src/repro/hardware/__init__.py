@@ -1,0 +1,47 @@
+"""Hardware descriptions of the clusters the paper evaluates on.
+
+The paper's testbed (§5.1): nodes with four A100-80G GPUs on 3rd-gen
+NVLink, PCIe Gen4 x16 to host (32 GB/s unidirectional), 1 TB host memory,
+and 200 Gbps HDR InfiniBand between nodes.  Table 1 additionally uses
+A100-40G nodes.  These specs feed both the latency model (Fig. 10) and
+the capacity solver (Tables 1 and 3).
+"""
+
+from repro.hardware.specs import (
+    H100_80G,
+    NDR_IB,
+    NVLINK4,
+    PCIE_GEN5_X16,
+    node_h100_80g,
+    A100_40G,
+    A100_80G,
+    GPUSpec,
+    LinkSpec,
+    NodeSpec,
+    HDR_IB,
+    NVLINK3,
+    PCIE_GEN4_X16,
+    paper_node_a100_40g,
+    paper_node_a100_80g,
+)
+from repro.hardware.topology import ClusterSpec, make_cluster
+
+__all__ = [
+    "GPUSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "A100_40G",
+    "A100_80G",
+    "NVLINK3",
+    "PCIE_GEN4_X16",
+    "HDR_IB",
+    "paper_node_a100_40g",
+    "paper_node_a100_80g",
+    "H100_80G",
+    "NVLINK4",
+    "PCIE_GEN5_X16",
+    "NDR_IB",
+    "node_h100_80g",
+    "make_cluster",
+]

@@ -1,0 +1,178 @@
+"""Datasheet-level hardware specifications.
+
+Numbers come from vendor datasheets and the paper's §5.1:
+
+* NVIDIA A100: 312 TFLOPS dense BF16, 40 or 80 GiB HBM2e, ~2.0 TB/s HBM
+  bandwidth.
+* 3rd-gen NVLink: 300 GB/s per-direction aggregate per GPU (the paper
+  quotes ">100 GB/s of peer-to-peer bandwidth"; we model the per-pair
+  p2p rate separately).
+* PCIe Gen4 x16: 32 GB/s unidirectional theoretical; shared across the
+  GPUs that hang off one switch/socket, which is what makes the fetch-
+  strategy discussion of §4.2 interesting.
+* HDR InfiniBand: 200 Gbps = 25 GB/s per port.
+
+Efficiency factors (what fraction of the theoretical number real kernels
+and collectives reach) live in :mod:`repro.perfmodel.calibration`, not
+here — this module is datasheet truth only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.units import GB, GIB, TB
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"A100-80G"``.
+    hbm_bytes:
+        HBM capacity in bytes.
+    peak_flops_bf16:
+        Dense BF16/FP16 tensor-core throughput, FLOP/s.
+    peak_flops_fp32:
+        FP32 (non-TF32) throughput, FLOP/s.
+    hbm_bandwidth:
+        HBM read/write bandwidth, bytes/s.
+    """
+
+    name: str
+    hbm_bytes: int
+    peak_flops_bf16: float
+    peak_flops_fp32: float
+    hbm_bandwidth: float
+
+    @property
+    def hbm_gib(self) -> float:
+        return self.hbm_bytes / GIB
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A communication link with a simple alpha-beta cost model.
+
+    ``time(bytes) = latency + bytes / bandwidth`` — the classic Hockney
+    model, which is all the paper's analysis needs.
+
+    Attributes
+    ----------
+    name:
+        e.g. ``"NVLink3"``.
+    bandwidth:
+        Unidirectional bandwidth in bytes/s.
+    latency:
+        Per-message latency in seconds.
+    shared:
+        True if the link's bandwidth is shared among all endpoints on a
+        node (PCIe host link), False if each pair gets the full rate
+        (NVLink point-to-point).
+    """
+
+    name: str
+    bandwidth: float
+    latency: float
+    shared: bool = False
+
+    def transfer_time(self, nbytes: float, *, efficiency: float = 1.0) -> float:
+        """Time to move ``nbytes`` over this link at ``efficiency`` of peak."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if not 0 < efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+        return self.latency + nbytes / (self.bandwidth * efficiency)
+
+
+A100_40G = GPUSpec(
+    name="A100-40G",
+    hbm_bytes=40 * GIB,
+    peak_flops_bf16=312e12,
+    peak_flops_fp32=19.5e12,
+    hbm_bandwidth=1_555 * GB,
+)
+
+A100_80G = GPUSpec(
+    name="A100-80G",
+    hbm_bytes=80 * GIB,
+    peak_flops_bf16=312e12,
+    peak_flops_fp32=19.5e12,
+    hbm_bandwidth=2_039 * GB,
+)
+
+H100_80G = GPUSpec(
+    name="H100-80G",
+    hbm_bytes=80 * GIB,
+    peak_flops_bf16=989e12,  # dense BF16, SXM5
+    peak_flops_fp32=67e12,
+    hbm_bandwidth=3_350 * GB,
+)
+
+# 3rd-gen NVLink: 600 GB/s bidirectional per GPU => 300 GB/s per direction.
+NVLINK3 = LinkSpec(name="NVLink3", bandwidth=300 * GB, latency=2e-6)
+
+# 4th-gen NVLink (H100): 900 GB/s bidirectional => 450 GB/s per direction.
+NVLINK4 = LinkSpec(name="NVLink4", bandwidth=450 * GB, latency=2e-6)
+
+# PCIe Gen4 x16 host link: 32 GB/s unidirectional, shared per socket.
+PCIE_GEN4_X16 = LinkSpec(name="PCIe4x16", bandwidth=32 * GB, latency=5e-6, shared=True)
+
+# PCIe Gen5 x16 (H100 hosts): 64 GB/s unidirectional.
+PCIE_GEN5_X16 = LinkSpec(name="PCIe5x16", bandwidth=64 * GB, latency=5e-6, shared=True)
+
+# HDR InfiniBand, 200 Gbps per port.
+HDR_IB = LinkSpec(name="HDR200", bandwidth=25 * GB, latency=1.5e-6, shared=True)
+
+# NDR InfiniBand, 400 Gbps per port (H100 clusters).
+NDR_IB = LinkSpec(name="NDR400", bandwidth=50 * GB, latency=1.5e-6, shared=True)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node: homogeneous GPUs plus a host memory pool.
+
+    The paper's node has 4 GPUs, two CPU sockets and 1 TB of host RAM;
+    each socket's PCIe root services two GPUs (``gpus_per_pcie_root``),
+    which determines how HtoD transfers contend in §4.2.
+    """
+
+    name: str
+    gpu: GPUSpec
+    gpus_per_node: int
+    nvlink: LinkSpec = NVLINK3
+    pcie: LinkSpec = PCIE_GEN4_X16
+    interconnect: LinkSpec = HDR_IB
+    host_memory_bytes: int = 1 * TB
+    gpus_per_pcie_root: int = 2
+    extras: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node <= 0:
+            raise ValueError("gpus_per_node must be positive")
+        if self.gpus_per_pcie_root <= 0:
+            raise ValueError("gpus_per_pcie_root must be positive")
+
+
+def paper_node_a100_80g(gpus_per_node: int = 4) -> NodeSpec:
+    """The evaluation node of §5.1: 4x A100-80G, NVLink3, PCIe4, 1 TB host."""
+    return NodeSpec(name="dgx-a100-80g", gpu=A100_80G, gpus_per_node=gpus_per_node)
+
+
+def paper_node_a100_40g(gpus_per_node: int = 4) -> NodeSpec:
+    """The A100-40G node used by Table 1's left half."""
+    return NodeSpec(name="dgx-a100-40g", gpu=A100_40G, gpus_per_node=gpus_per_node)
+
+
+def node_h100_80g(gpus_per_node: int = 8) -> NodeSpec:
+    """An H100 node (beyond the paper's testbed): NVLink4, PCIe Gen5
+    hosts, NDR InfiniBand — used by the hardware-sensitivity study to
+    ask how FPDT's chunk tuning shifts on the next GPU generation."""
+    return NodeSpec(
+        name="dgx-h100-80g", gpu=H100_80G, gpus_per_node=gpus_per_node,
+        nvlink=NVLINK4, pcie=PCIE_GEN5_X16, interconnect=NDR_IB,
+        host_memory_bytes=2 * TB,
+    )

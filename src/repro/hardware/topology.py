@@ -1,0 +1,100 @@
+"""Cluster topology: nodes wired together by an interconnect.
+
+A :class:`ClusterSpec` answers the questions the perf model asks:
+which link connects rank *i* to rank *j*, which ranks share a PCIe root,
+and what the slowest link in a collective's span is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import LinkSpec, NodeSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """``num_nodes`` identical nodes; GPUs are ranked node-major.
+
+    Rank ``r`` lives on node ``r // gpus_per_node`` at local index
+    ``r % gpus_per_node``.
+    """
+
+    node: NodeSpec
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+
+    @property
+    def world_size(self) -> int:
+        return self.num_nodes * self.node.gpus_per_node
+
+    def node_of(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank // self.node.gpus_per_node
+
+    def local_rank(self, rank: int) -> int:
+        self._check_rank(rank)
+        return rank % self.node.gpus_per_node
+
+    def pcie_root_of(self, rank: int) -> tuple[int, int]:
+        """(node, root-index) identifying the PCIe root complex serving
+        ``rank``.  Ranks with the same value contend for host bandwidth."""
+        self._check_rank(rank)
+        return (self.node_of(rank), self.local_rank(rank) // self.node.gpus_per_pcie_root)
+
+    def link_between(self, a: int, b: int) -> LinkSpec:
+        """The link used for point-to-point traffic between two ranks."""
+        self._check_rank(a)
+        self._check_rank(b)
+        if a == b:
+            raise ValueError("no link from a rank to itself")
+        if self.node_of(a) == self.node_of(b):
+            return self.node.nvlink
+        return self.node.interconnect
+
+    def collective_bottleneck(self, ranks: list[int]) -> LinkSpec:
+        """Slowest link class spanned by a collective over ``ranks``.
+
+        A collective confined to one node runs at NVLink speed; one that
+        crosses nodes is bound by the interconnect — the reason the paper
+        observes Megatron-SP degrade "severely when inter-node
+        communication is included" (§5.2).
+        """
+        if len(ranks) < 2:
+            raise ValueError("a collective needs at least two ranks")
+        nodes = {self.node_of(r) for r in ranks}
+        return self.node.nvlink if len(nodes) == 1 else self.node.interconnect
+
+    def ranks_sharing_pcie_root(self, rank: int) -> list[int]:
+        """All ranks (including ``rank``) whose HtoD/DtoH traffic shares
+        ``rank``'s PCIe root complex."""
+        key = self.pcie_root_of(rank)
+        return [r for r in range(self.world_size) if self.pcie_root_of(r) == key]
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range for world size {self.world_size}")
+
+
+def make_cluster(node: NodeSpec, num_gpus: int) -> ClusterSpec:
+    """Smallest cluster of ``node``-type machines holding ``num_gpus``.
+
+    ``num_gpus`` smaller than a full node yields a single node (the unused
+    GPUs simply idle), matching how the paper runs 1/2-GPU configs on a
+    4-GPU box in Table 1.
+    """
+    if num_gpus <= 0:
+        raise ValueError("num_gpus must be positive")
+    per = node.gpus_per_node
+    if num_gpus < per:
+        # Single partially-used node: model it as a node with fewer GPUs
+        # so world_size matches the requested GPU count.
+        from dataclasses import replace
+
+        return ClusterSpec(node=replace(node, gpus_per_node=num_gpus), num_nodes=1)
+    if num_gpus % per != 0:
+        raise ValueError(f"num_gpus {num_gpus} not a multiple of node size {per}")
+    return ClusterSpec(node=node, num_nodes=num_gpus // per)

@@ -1,0 +1,345 @@
+"""Exact and online (FlashAttention-style) causal attention in NumPy.
+
+Two implementations of the same math:
+
+* :func:`attention_forward_reference` materializes the full ``[s, s]``
+  score matrix — the O(N^2)-memory baseline of the paper's §3.1, used as
+  the gold standard.
+* The *online* path computes attention blockwise with a running max /
+  running denominator (online softmax), exactly the algorithm
+  FlashAttention uses and the one FPDT schedules across chunks: the
+  forward keeps only ``(acc, m, l)`` per query row, the backward
+  recomputes per-block probabilities from the saved log-sum-exp.
+
+Block functions carry **absolute position offsets** ``(q_offset,
+k_offset)`` so the causal mask stays exact when FPDT processes chunk
+pairs off the diagonal (the Fig. 6 discussion).  All shapes are
+``[b, s, h, d]``; GQA inputs must be expanded with
+:func:`repro.models.layers.repeat_kv` before these kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ShapeError
+
+# ----------------------------------------------------------------------
+# Reference (quadratic-memory) attention
+# ----------------------------------------------------------------------
+
+
+def _causal_bias(
+    sq: int, sk: int, q_offset: int, k_offset: int, window: int | None = None
+) -> np.ndarray | None:
+    """Additive mask or None if the whole block is visible.
+
+    Causal: keys after the query are hidden.  With ``window`` (sliding-
+    window attention, the Mistral/Longformer-style extension), keys more
+    than ``window - 1`` positions behind the query are hidden too:
+    query ``i`` sees keys in ``(i - window, i]``.
+    """
+    iq = q_offset + np.arange(sq)[:, None]
+    ik = k_offset + np.arange(sk)[None, :]
+    hidden = ik > iq
+    if window is not None:
+        if window < 1:
+            raise ShapeError(f"window must be >= 1, got {window}")
+        hidden = hidden | (ik <= iq - window)
+    if not hidden.any():
+        return None  # fully visible block, no mask needed
+    return np.where(hidden, -np.inf, 0.0)
+
+
+def block_is_visible(
+    sq: int, sk: int, q_offset: int, k_offset: int, window: int | None = None
+) -> bool:
+    """Whether any (query, key) pair of the block passes the causal (+
+    window) mask — the skip test chunked schedules use to avoid fetching
+    and computing fully-hidden blocks."""
+    if k_offset > q_offset + sq - 1:
+        return False  # entirely in the future
+    if window is not None and k_offset + sk - 1 <= q_offset - window:
+        return False  # entirely behind the window
+    return True
+
+
+def attention_forward_reference(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    *,
+    causal: bool = True,
+    scale: float | None = None,
+    window: int | None = None,
+) -> tuple[np.ndarray, tuple]:
+    """Exact softmax attention; returns ``(o, cache)``.
+
+    ``q``: ``[b, sq, h, d]``; ``k``/``v``: ``[b, sk, h, d]``.
+    ``window`` enables sliding-window attention (causal only).
+    """
+    _check_qkv(q, k, v)
+    if window is not None and not causal:
+        raise ShapeError("window requires causal attention")
+    scale = scale if scale is not None else 1.0 / np.sqrt(q.shape[-1])
+    scores = np.einsum("bqhd,bkhd->bhqk", q, k) * scale
+    if causal:
+        bias = _causal_bias(q.shape[1], k.shape[1], 0, 0, window)
+        if bias is not None:
+            scores = scores + bias
+    scores -= scores.max(axis=-1, keepdims=True)
+    probs = np.exp(scores)
+    probs /= probs.sum(axis=-1, keepdims=True)
+    o = np.einsum("bhqk,bkhd->bqhd", probs, v)
+    return o, (q, k, v, probs, scale)
+
+
+def attention_backward_reference(
+    do: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Exact attention backward; returns ``(dq, dk, dv)``."""
+    q, k, v, probs, scale = cache
+    dv = np.einsum("bhqk,bqhd->bkhd", probs, do)
+    dprobs = np.einsum("bqhd,bkhd->bhqk", do, v)
+    # softmax backward: ds = p * (dp - sum(dp * p))
+    dscores = probs * (dprobs - (dprobs * probs).sum(axis=-1, keepdims=True))
+    dq = np.einsum("bhqk,bkhd->bqhd", dscores, k) * scale
+    dk = np.einsum("bhqk,bqhd->bkhd", dscores, q) * scale
+    return dq, dk, dv
+
+
+# ----------------------------------------------------------------------
+# Online (blockwise) attention
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class OnlineSoftmaxState:
+    """Running state of online softmax for a block of queries.
+
+    ``acc`` is the *unnormalized* output accumulator ``[b, sq, h, d]``;
+    ``m`` the running row max and ``l`` the running denominator, both
+    ``[b, h, sq]``.  This is the "intermediate results ... rescaled in
+    the next chunk computation" state of §4.1.
+    """
+
+    acc: np.ndarray
+    m: np.ndarray
+    l: np.ndarray
+
+    @classmethod
+    def zeros(cls, b: int, sq: int, h: int, d: int) -> "OnlineSoftmaxState":
+        return cls(
+            acc=np.zeros((b, sq, h, d)),
+            m=np.full((b, h, sq), -np.inf),
+            l=np.zeros((b, h, sq)),
+        )
+
+
+def online_block_update(
+    state: OnlineSoftmaxState,
+    q: np.ndarray,
+    k_blk: np.ndarray,
+    v_blk: np.ndarray,
+    *,
+    scale: float,
+    causal: bool = True,
+    q_offset: int = 0,
+    k_offset: int = 0,
+    window: int | None = None,
+) -> OnlineSoftmaxState:
+    """Fold one KV block into the running attention of a query block.
+
+    With causal masking the caller must only present visible blocks
+    (see :func:`block_is_visible`); FPDT's schedule guarantees this by
+    construction (q_i attends only to k_j with j <= i, and with a
+    window only to chunks overlapping ``(i*C - window, (i+1)*C]``).
+    """
+    _check_qkv(q, k_blk, v_blk)
+    if causal and not block_is_visible(
+        q.shape[1], k_blk.shape[1], q_offset, k_offset, window
+    ):
+        raise ShapeError(
+            f"causal online update got a fully-invisible block: "
+            f"q_offset={q_offset}, k_offset={k_offset}, window={window}"
+        )
+    scores = np.einsum("bqhd,bkhd->bhqk", q, k_blk) * scale
+    if causal:
+        bias = _causal_bias(q.shape[1], k_blk.shape[1], q_offset, k_offset, window)
+        if bias is not None:
+            scores = scores + bias
+    m_new = np.maximum(state.m, scores.max(axis=-1))
+    # Rows that have seen nothing yet (m_new == -inf: fully-masked so far,
+    # e.g. an unaligned block straddling the diagonal) must pass through
+    # untouched; substitute a finite max so exp() yields exact zeros.
+    safe_m = np.where(np.isneginf(m_new), 0.0, m_new)
+    p = np.exp(scores - safe_m[..., None])
+    correction = np.where(np.isneginf(state.m), 0.0, np.exp(state.m - safe_m))
+    state.l = state.l * correction + p.sum(axis=-1)
+    pv = np.einsum("bhqk,bkhd->bqhd", p, v_blk)
+    state.acc = state.acc * correction.transpose(0, 2, 1)[..., None] + pv
+    state.m = m_new
+    return state
+
+
+def finalize_online(state: OnlineSoftmaxState) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize the accumulator; returns ``(o, lse)`` where ``lse`` is
+    the row log-sum-exp ``[b, h, sq]`` saved for the backward pass."""
+    if np.any(state.l == 0):
+        raise ShapeError("finalize_online: some query rows attended to nothing")
+    o = state.acc / state.l.transpose(0, 2, 1)[..., None]
+    lse = state.m + np.log(state.l)
+    return o, lse
+
+
+def compute_delta(o: np.ndarray, do: np.ndarray) -> np.ndarray:
+    """``delta = rowsum(do * o)`` per query row, ``[b, h, sq]`` — the
+    softmax-correction term of the FlashAttention-2 backward."""
+    return np.einsum("bqhd,bqhd->bhq", do, o)
+
+
+def attention_block_backward(
+    q: np.ndarray,
+    k_blk: np.ndarray,
+    v_blk: np.ndarray,
+    do: np.ndarray,
+    lse: np.ndarray,
+    delta: np.ndarray,
+    *,
+    scale: float,
+    causal: bool = True,
+    q_offset: int = 0,
+    k_offset: int = 0,
+    window: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Gradient contribution of one (query-block, KV-block) pair.
+
+    Recomputes the block probabilities from the saved ``lse`` (no stored
+    attention matrix), then applies the FlashAttention-2 formulas.
+    Returns partial ``(dq, dk_blk, dv_blk)`` to be accumulated by the
+    caller — FPDT's nested backward loop (Fig. 7) accumulates ``dk/dv``
+    over the inner (query) loop and ``dq`` over the outer (KV) loop.
+    """
+    _check_qkv(q, k_blk, v_blk)
+    if causal and not block_is_visible(
+        q.shape[1], k_blk.shape[1], q_offset, k_offset, window
+    ):
+        raise ShapeError("causal block backward got a fully-invisible block")
+    scores = np.einsum("bqhd,bkhd->bhqk", q, k_blk) * scale
+    if causal:
+        bias = _causal_bias(q.shape[1], k_blk.shape[1], q_offset, k_offset, window)
+        if bias is not None:
+            scores = scores + bias
+    p = np.exp(scores - lse[..., None])  # masked entries: exp(-inf) = 0
+    dv = np.einsum("bhqk,bqhd->bkhd", p, do)
+    dp = np.einsum("bqhd,bkhd->bhqk", do, v_blk)
+    ds = p * (dp - delta[..., None])
+    dq = np.einsum("bhqk,bkhd->bqhd", ds, k_blk) * scale
+    dk = np.einsum("bhqk,bqhd->bkhd", ds, q) * scale
+    return dq, dk, dv
+
+
+def online_attention_forward(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    *,
+    block_q: int | None = None,
+    block_k: int | None = None,
+    causal: bool = True,
+    scale: float | None = None,
+    window: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Full blockwise attention over one device's tensors.
+
+    Returns ``(o, lse)``.  Equivalent to the reference forward for any
+    block sizes — the property tests exercise this exhaustively.  With
+    ``window``, fully-hidden KV blocks are skipped entirely (the
+    compute saving sliding-window attention exists for).
+    """
+    _check_qkv(q, k, v)
+    if window is not None and not causal:
+        raise ShapeError("window requires causal attention")
+    b, sq, h, d = q.shape
+    sk = k.shape[1]
+    block_q = block_q or sq
+    block_k = block_k or sk
+    scale = scale if scale is not None else 1.0 / np.sqrt(d)
+    o = np.empty_like(q)
+    lse = np.empty((b, h, sq))
+    for q0 in range(0, sq, block_q):
+        q1 = min(q0 + block_q, sq)
+        state = OnlineSoftmaxState.zeros(b, q1 - q0, h, d)
+        k_hi = min(q1, sk) if causal else sk  # skip fully-masked blocks
+        for k0 in range(0, k_hi, block_k):
+            k1 = min(k0 + block_k, k_hi)
+            if causal and not block_is_visible(q1 - q0, k1 - k0, q0, k0, window):
+                continue
+            online_block_update(
+                state, q[:, q0:q1], k[:, k0:k1], v[:, k0:k1],
+                scale=scale, causal=causal, q_offset=q0, k_offset=k0, window=window,
+            )
+        o_blk, lse_blk = finalize_online(state)
+        o[:, q0:q1] = o_blk
+        lse[:, :, q0:q1] = lse_blk
+    return o, lse
+
+
+def online_attention_backward(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    o: np.ndarray,
+    do: np.ndarray,
+    lse: np.ndarray,
+    *,
+    block_q: int | None = None,
+    block_k: int | None = None,
+    causal: bool = True,
+    scale: float | None = None,
+    window: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Blockwise attention backward from saved ``(o, lse)``."""
+    _check_qkv(q, k, v)
+    if window is not None and not causal:
+        raise ShapeError("window requires causal attention")
+    b, sq, h, d = q.shape
+    sk = k.shape[1]
+    block_q = block_q or sq
+    block_k = block_k or sk
+    scale = scale if scale is not None else 1.0 / np.sqrt(d)
+    delta = compute_delta(o, do)
+    dq = np.zeros_like(q)
+    dk = np.zeros_like(k)
+    dv = np.zeros_like(v)
+    for k0 in range(0, sk, block_k):
+        k1 = min(k0 + block_k, sk)
+        q_lo = k0 if causal else 0  # queries before k0 never see this block
+        for q0 in range(q_lo - (q_lo % block_q) if causal else 0, sq, block_q):
+            q1 = min(q0 + block_q, sq)
+            if causal and q1 <= k0:
+                continue
+            if causal and not block_is_visible(q1 - q0, k1 - k0, q0, k0, window):
+                continue
+            dq_p, dk_p, dv_p = attention_block_backward(
+                q[:, q0:q1], k[:, k0:k1], v[:, k0:k1],
+                do[:, q0:q1], lse[:, :, q0:q1], delta[:, :, q0:q1],
+                scale=scale, causal=causal, q_offset=q0, k_offset=k0, window=window,
+            )
+            dq[:, q0:q1] += dq_p
+            dk[:, k0:k1] += dk_p
+            dv[:, k0:k1] += dv_p
+    return dq, dk, dv
+
+
+def _check_qkv(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> None:
+    if q.ndim != 4 or k.ndim != 4 or v.ndim != 4:
+        raise ShapeError("q, k, v must be [batch, seq, heads, head_dim]")
+    if k.shape != v.shape:
+        raise ShapeError(f"k/v shapes differ: {k.shape} vs {v.shape}")
+    if q.shape[0] != k.shape[0] or q.shape[2:] != k.shape[2:]:
+        raise ShapeError(
+            f"q {q.shape} incompatible with k {k.shape} (batch/heads/dim must match)"
+        )

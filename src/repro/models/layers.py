@@ -1,0 +1,244 @@
+"""Functional transformer layers with hand-written backward passes.
+
+Every kernel is a pure function ``f(x, params) -> (y, cache)`` paired
+with ``f_backward(dy, cache) -> (dx, dparams...)``.  The functional style
+is deliberate: the distributed implementations (Ulysses, Megatron-SP,
+FPDT) re-use these exact kernels on per-rank shards, so any numerical
+difference between a distributed run and the reference model can only
+come from the *parallelization*, never the math.
+
+All activations are ``[batch, seq, ...]``; attention heads use
+``[batch, seq, heads, head_dim]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+# ----------------------------------------------------------------------
+# Linear
+# ----------------------------------------------------------------------
+
+
+def linear_forward(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None
+) -> tuple[np.ndarray, tuple]:
+    """``y = x @ W + b`` over the last axis.  ``W`` is ``[in, out]``."""
+    y = x @ weight
+    if bias is not None:
+        y = y + bias
+    return y, (x, weight, bias is not None)
+
+
+def linear_backward(
+    dy: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Returns ``(dx, dW, db)``; ``db`` is None when the layer had no bias."""
+    x, weight, has_bias = cache
+    dx = dy @ weight.T
+    x2 = x.reshape(-1, x.shape[-1])
+    dy2 = dy.reshape(-1, dy.shape[-1])
+    dweight = x2.T @ dy2
+    dbias = dy2.sum(axis=0) if has_bias else None
+    return dx, dweight, dbias
+
+
+# ----------------------------------------------------------------------
+# Normalizations
+# ----------------------------------------------------------------------
+
+
+def layernorm_forward(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5
+) -> tuple[np.ndarray, tuple]:
+    """LayerNorm over the last axis (GPT blocks)."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (x - mean) * inv_std
+    y = gamma * x_hat + beta
+    return y, (x_hat, inv_std, gamma)
+
+
+def layernorm_backward(
+    dy: np.ndarray, cache: tuple
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Adjoint of :func:`layernorm_forward`; returns ``(dx, dgamma, dbeta)``."""
+    x_hat, inv_std, gamma = cache
+    n = x_hat.shape[-1]
+    dgamma = (dy * x_hat).reshape(-1, n).sum(axis=0)
+    dbeta = dy.reshape(-1, n).sum(axis=0)
+    dx_hat = dy * gamma
+    dx = inv_std * (
+        dx_hat
+        - dx_hat.mean(axis=-1, keepdims=True)
+        - x_hat * (dx_hat * x_hat).mean(axis=-1, keepdims=True)
+    )
+    return dx, dgamma, dbeta
+
+
+def rmsnorm_forward(
+    x: np.ndarray, gamma: np.ndarray, eps: float = 1e-6
+) -> tuple[np.ndarray, tuple]:
+    """RMSNorm (Llama blocks): ``y = gamma * x / rms(x)``."""
+    ms = np.mean(x * x, axis=-1, keepdims=True)
+    inv_rms = 1.0 / np.sqrt(ms + eps)
+    x_hat = x * inv_rms
+    return gamma * x_hat, (x, x_hat, inv_rms, gamma)
+
+
+def rmsnorm_backward(dy: np.ndarray, cache: tuple) -> tuple[np.ndarray, np.ndarray]:
+    """Adjoint of :func:`rmsnorm_forward`; returns ``(dx, dgamma)``."""
+    x, x_hat, inv_rms, gamma = cache
+    n = x.shape[-1]
+    dgamma = (dy * x_hat).reshape(-1, n).sum(axis=0)
+    dx_hat = dy * gamma
+    # d/dx [x * inv_rms]: inv_rms * (dx_hat - x_hat * mean(dx_hat * x_hat))
+    dx = inv_rms * (dx_hat - x_hat * np.mean(dx_hat * x_hat, axis=-1, keepdims=True))
+    return dx, dgamma
+
+
+# ----------------------------------------------------------------------
+# Activations
+# ----------------------------------------------------------------------
+
+_SQRT_2_OVER_PI = np.sqrt(2.0 / np.pi)
+
+
+def gelu_forward(x: np.ndarray) -> tuple[np.ndarray, tuple]:
+    """Tanh-approximation GELU (the variant GPT uses)."""
+    inner = _SQRT_2_OVER_PI * (x + 0.044715 * x**3)
+    tanh = np.tanh(inner)
+    return 0.5 * x * (1.0 + tanh), (x, tanh)
+
+
+def gelu_backward(dy: np.ndarray, cache: tuple) -> np.ndarray:
+    """Adjoint of :func:`gelu_forward`."""
+    x, tanh = cache
+    dinner = _SQRT_2_OVER_PI * (1.0 + 3 * 0.044715 * x**2)
+    return dy * (0.5 * (1.0 + tanh) + 0.5 * x * (1.0 - tanh**2) * dinner)
+
+
+def silu_forward(x: np.ndarray) -> tuple[np.ndarray, tuple]:
+    """SiLU / swish, the gate nonlinearity of SwiGLU."""
+    sig = 1.0 / (1.0 + np.exp(-x))
+    return x * sig, (x, sig)
+
+
+def silu_backward(dy: np.ndarray, cache: tuple) -> np.ndarray:
+    """Adjoint of :func:`silu_forward`."""
+    x, sig = cache
+    return dy * sig * (1.0 + x * (1.0 - sig))
+
+
+# ----------------------------------------------------------------------
+# Embedding
+# ----------------------------------------------------------------------
+
+
+def embedding_forward(
+    token_ids: np.ndarray, table: np.ndarray
+) -> tuple[np.ndarray, tuple]:
+    """Row gather: ``y[..., :] = table[token_ids[...]]``."""
+    return table[token_ids], (token_ids, table.shape)
+
+
+def embedding_backward(dy: np.ndarray, cache: tuple) -> np.ndarray:
+    """Scatter-add adjoint of the row gather; returns ``dtable``."""
+    token_ids, table_shape = cache
+    dtable = np.zeros(table_shape, dtype=dy.dtype)
+    np.add.at(dtable, token_ids.reshape(-1), dy.reshape(-1, dy.shape[-1]))
+    return dtable
+
+
+# ----------------------------------------------------------------------
+# Rotary position embedding (RoPE)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RopeCache:
+    """Precomputed cos/sin for a span of absolute positions.
+
+    FPDT processes the sequence in chunks with nonzero global offsets, so
+    the cache is built per (offset, length) span — position correctness
+    across chunks is part of what the equivalence tests check.
+    """
+
+    cos: np.ndarray  # [s, d/2]
+    sin: np.ndarray  # [s, d/2]
+
+
+def make_rope_cache(
+    head_dim: int, positions: np.ndarray, theta: float = 500_000.0
+) -> RopeCache:
+    """Cos/sin tables for the given absolute ``positions`` (1-D array)."""
+    if head_dim % 2 != 0:
+        raise ValueError("head_dim must be even for RoPE")
+    inv_freq = theta ** (-np.arange(0, head_dim, 2) / head_dim)
+    angles = positions[:, None] * inv_freq[None, :]
+    return RopeCache(cos=np.cos(angles), sin=np.sin(angles))
+
+
+def rope_forward(x: np.ndarray, cache: RopeCache) -> np.ndarray:
+    """Rotate pairs ``(x[2i], x[2i+1])`` by the position angle.
+
+    ``x`` is ``[b, s, h, d]``; the cache must cover exactly ``s``
+    positions.  RoPE is orthogonal, so the backward pass is the rotation
+    by the negated angle (see :func:`rope_backward`).
+    """
+    b, s, h, d = x.shape
+    x_pairs = x.reshape(b, s, h, d // 2, 2)
+    x0, x1 = x_pairs[..., 0], x_pairs[..., 1]
+    cos = cache.cos[None, :, None, :]
+    sin = cache.sin[None, :, None, :]
+    out = np.empty_like(x_pairs)
+    out[..., 0] = x0 * cos - x1 * sin
+    out[..., 1] = x0 * sin + x1 * cos
+    return out.reshape(b, s, h, d)
+
+
+def rope_backward(dy: np.ndarray, cache: RopeCache) -> np.ndarray:
+    """Adjoint of :func:`rope_forward` — rotation by the opposite angle."""
+    inverse = RopeCache(cos=cache.cos, sin=-cache.sin)
+    return rope_forward(dy, inverse)
+
+
+# ----------------------------------------------------------------------
+# Head reshaping helpers
+# ----------------------------------------------------------------------
+
+
+def split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    """``[b, s, h*d] -> [b, s, h, d]``."""
+    b, s, hd = x.shape
+    if hd % num_heads != 0:
+        raise ValueError(f"hidden {hd} not divisible by heads {num_heads}")
+    return x.reshape(b, s, num_heads, hd // num_heads)
+
+
+def merge_heads(x: np.ndarray) -> np.ndarray:
+    """``[b, s, h, d] -> [b, s, h*d]``."""
+    b, s, h, d = x.shape
+    return x.reshape(b, s, h * d)
+
+
+def repeat_kv(x: np.ndarray, group_size: int) -> np.ndarray:
+    """Expand GQA key/value heads to the full head count.
+
+    ``[b, s, hk, d] -> [b, s, hk*group, d]`` with each kv head repeated
+    ``group_size`` times (contiguously, matching Llama's layout).
+    """
+    if group_size == 1:
+        return x
+    return np.repeat(x, group_size, axis=2)
+
+
+def reduce_kv_grad(dx: np.ndarray, group_size: int) -> np.ndarray:
+    """Adjoint of :func:`repeat_kv`: sum gradients over each group."""
+    if group_size == 1:
+        return dx
+    b, s, h, d = dx.shape
+    return dx.reshape(b, s, h // group_size, group_size, d).sum(axis=3)

@@ -1,0 +1,61 @@
+"""Baseline sequence-parallel strategies on the simulated runtime.
+
+Everything the paper compares FPDT against, implemented with real data
+movement and the same block kernels as the reference model:
+
+* :mod:`repro.parallel.ulysses`     — DeepSpeed Ulysses (Jacobs et al., 2023):
+  all-to-all head scatter / sequence gather around the attention core.
+* :mod:`repro.parallel.megatron_sp` — Megatron-SP (Korthikanti et al., 2023):
+  tensor parallelism with all-gather / reduce-scatter sequence parallelism.
+* :mod:`repro.parallel.ring`        — Ring Attention (Liu et al., 2023):
+  blockwise attention with rotating KV blocks.
+* :mod:`repro.parallel.zero`        — ZeRO-1/2/3 sharded optimizer states,
+  gradients and parameters (Rajbhandari et al., 2020).
+"""
+
+from repro.parallel.ulysses import (
+    UlyssesBlockContext,
+    ulysses_block_backward,
+    ulysses_block_forward,
+)
+from repro.parallel.megatron_sp import (
+    MegatronBlockContext,
+    MegatronShardedBlock,
+    megatron_block_backward,
+    megatron_block_forward,
+)
+from repro.parallel.ring import (
+    RingBlockContext,
+    ring_block_backward,
+    ring_block_forward,
+)
+from repro.parallel.zero import FlatParamSpace, ZeroAdam, zero_model_state_bytes
+from repro.parallel.zero3_params import Zero3ParamStore, gathered_params
+from repro.parallel.grad_reduce import bucketed_grad_allreduce, fused_grad_allreduce
+from repro.parallel.ulysses_model import UlyssesModelRunner
+from repro.parallel.megatron_model import MegatronModelRunner
+from repro.parallel.model_runner import ContiguousShardRunner, RingModelRunner
+
+__all__ = [
+    "ContiguousShardRunner",
+    "RingModelRunner",
+    "MegatronModelRunner",
+    "Zero3ParamStore",
+    "gathered_params",
+    "bucketed_grad_allreduce",
+    "fused_grad_allreduce",
+    "UlyssesModelRunner",
+    "UlyssesBlockContext",
+    "ulysses_block_forward",
+    "ulysses_block_backward",
+    "MegatronBlockContext",
+    "MegatronShardedBlock",
+    "megatron_block_forward",
+    "megatron_block_backward",
+    "RingBlockContext",
+    "ring_block_forward",
+    "ring_block_backward",
+    "FlatParamSpace",
+    "ZeroAdam",
+    "zero_model_state_bytes",
+]

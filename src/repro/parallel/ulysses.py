@@ -1,0 +1,205 @@
+"""DeepSpeed Ulysses distributed attention (Jacobs et al., 2023).
+
+Each rank owns a contiguous sequence shard with all heads,
+``[b, s_local, H, d]``.  Around the attention core, one all-to-all
+scatters heads and gathers sequence (``[b, s_global, h_local, d]``), and
+a second all-to-all restores the layout (Fig. 2 of the FPDT paper).
+Everything outside attention is token-local and reuses the reference
+block kernels, so a Ulysses run is numerically identical to the
+single-device model.
+
+Memory accounting follows the paper's Table 2: the QKV projections,
+the non-in-place all-to-all receive buffers and the gathered-sequence
+attention working set are all registered on the device pools; activation
+checkpoints saved for backward are held in the backward context
+(host-resident, matching the paper's default "activation checkpoint with
+CPU offloading").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.models.block_ops import (
+    Grads,
+    accumulate_grads,
+    attn_post_backward,
+    attn_post_forward,
+    attn_pre_backward,
+    attn_pre_forward,
+    ffn_backward,
+    ffn_forward,
+)
+from repro.models.attention import (
+    online_attention_backward,
+    online_attention_forward,
+)
+from repro.models.config import ModelConfig
+from repro.runtime.collectives import all_to_all
+from repro.runtime.device import VirtualCluster, as_device_tensors, free_all
+
+ACT_DTYPE = DType.BF16
+
+
+def _positions(world: int, rank: int, s_local: int) -> np.ndarray:
+    """Absolute positions of rank ``rank``'s contiguous shard."""
+    return np.arange(rank * s_local, (rank + 1) * s_local)
+
+
+@dataclass
+class UlyssesBlockContext:
+    """Saved state of one Ulysses block forward (host-resident)."""
+
+    pre_caches: list[dict]
+    post_caches: list[dict]
+    ffn_caches: list[dict]
+    q_heads: list[np.ndarray]  # gathered [b, s_global, h_local, d] per rank
+    k_heads: list[np.ndarray]
+    v_heads: list[np.ndarray]
+    o_heads: list[np.ndarray]
+    lse: list[np.ndarray]
+
+
+def ulysses_block_forward(
+    cluster: VirtualCluster,
+    params: dict[str, np.ndarray],
+    cfg: ModelConfig,
+    x_shards: list[np.ndarray],
+    *,
+    block_k: int | None = None,
+) -> tuple[list[np.ndarray], UlyssesBlockContext]:
+    """One transformer block under Ulysses sequence parallelism.
+
+    ``x_shards[r]`` is rank ``r``'s ``[b, s_local, H]`` hidden shard.
+    Returns per-rank outputs plus the context for
+    :func:`ulysses_block_backward`.
+    """
+    world = cluster.world_size
+    if cfg.num_heads % world != 0:
+        raise ValueError(
+            f"Ulysses needs num_heads ({cfg.num_heads}) divisible by world size ({world})"
+        )
+    s_local = x_shards[0].shape[1]
+
+    # Phase 1 (token-local): norm + QKV projection (+RoPE, +GQA expand).
+    pre_caches, qs, ks, vs = [], [], [], []
+    for rank, x in enumerate(x_shards):
+        qh, kh, vh, cache = attn_pre_forward(
+            params, cfg, x, _positions(world, rank, s_local)
+        )
+        pre_caches.append(cache)
+        qs.append(qh)
+        ks.append(kh)
+        vs.append(vh)
+
+    # All-to-all: scatter heads, gather sequence (send + recv buffers live).
+    q_dev = as_device_tensors(cluster, qs, ACT_DTYPE, "ulysses.q")
+    k_dev = as_device_tensors(cluster, ks, ACT_DTYPE, "ulysses.k")
+    v_dev = as_device_tensors(cluster, vs, ACT_DTYPE, "ulysses.v")
+    q_hat = all_to_all(cluster, q_dev, split_axis=2, concat_axis=1, tag="ulysses.q")
+    k_hat = all_to_all(cluster, k_dev, split_axis=2, concat_axis=1, tag="ulysses.k")
+    v_hat = all_to_all(cluster, v_dev, split_axis=2, concat_axis=1, tag="ulysses.v")
+
+    # Phase 2: attention on the full sequence with local heads.
+    o_list, lse_list = [], []
+    o_dev = []
+    for rank in range(world):
+        o, lse = online_attention_forward(
+            q_hat[rank].data, k_hat[rank].data, v_hat[rank].data,
+            block_k=block_k, window=cfg.attention_window,
+        )
+        o_list.append(o)
+        lse_list.append(lse)
+        o_dev.append(cluster.devices[rank].from_numpy(o, ACT_DTYPE, "ulysses.o"))
+    q_saved = free_all(q_hat)  # checkpointed to host for backward
+    k_saved = free_all(k_hat)
+    v_saved = free_all(v_hat)
+
+    # All-to-all back: scatter sequence, gather heads.
+    o_local = all_to_all(cluster, o_dev, split_axis=1, concat_axis=2, tag="ulysses.o")
+    o_shards = free_all(o_local)
+
+    # Phase 3 + 4 (token-local): output projection, residual, FFN.
+    post_caches, ffn_caches, y_shards = [], [], []
+    for x, o in zip(x_shards, o_shards):
+        y_mid, post_cache = attn_post_forward(params, x, o)
+        y, ffn_cache = ffn_forward(params, cfg, y_mid)
+        post_caches.append(post_cache)
+        ffn_caches.append(ffn_cache)
+        y_shards.append(y)
+
+    ctx = UlyssesBlockContext(
+        pre_caches=pre_caches, post_caches=post_caches, ffn_caches=ffn_caches,
+        q_heads=q_saved, k_heads=k_saved, v_heads=v_saved,
+        o_heads=o_list, lse=lse_list,
+    )
+    return y_shards, ctx
+
+
+def ulysses_block_backward(
+    cluster: VirtualCluster,
+    cfg: ModelConfig,
+    ctx: UlyssesBlockContext,
+    dy_shards: list[np.ndarray],
+    *,
+    block_k: int | None = None,
+) -> tuple[list[np.ndarray], Grads]:
+    """Backward of :func:`ulysses_block_forward`.
+
+    Returns per-rank input gradients and the block's parameter gradients
+    **summed over ranks** (the all-reduce a real run issues, since every
+    rank computes partial weight gradients from its token shard).
+    """
+    world = cluster.world_size
+    grads: Grads = {}
+
+    # Phase 4 + 3 backward (token-local).
+    do_shards, dres_shards = [], []
+    for rank, dy in enumerate(dy_shards):
+        dmid, g_ffn = ffn_backward(dy, ctx.ffn_caches[rank])
+        accumulate_grads(grads, g_ffn)
+        do, dres, g_post = attn_post_backward(dmid, ctx.post_caches[rank])
+        accumulate_grads(grads, g_post)
+        do_shards.append(do)
+        dres_shards.append(dres)
+
+    # All-to-all do into the head-scattered layout.
+    do_dev = as_device_tensors(cluster, do_shards, ACT_DTYPE, "ulysses.do")
+    do_hat = all_to_all(cluster, do_dev, split_axis=2, concat_axis=1, tag="ulysses.do")
+
+    # Attention backward per rank: fetch saved q/k/v (host -> device),
+    # FlashAttention-style recomputation from (o, lse).
+    dq_dev, dk_dev, dv_dev = [], [], []
+    for rank in range(world):
+        dev = cluster.devices[rank]
+        q_t = dev.from_numpy(ctx.q_heads[rank], ACT_DTYPE, "ulysses.q.fetch")
+        k_t = dev.from_numpy(ctx.k_heads[rank], ACT_DTYPE, "ulysses.k.fetch")
+        v_t = dev.from_numpy(ctx.v_heads[rank], ACT_DTYPE, "ulysses.v.fetch")
+        dq, dk, dv = online_attention_backward(
+            q_t.data, k_t.data, v_t.data,
+            ctx.o_heads[rank], do_hat[rank].data, ctx.lse[rank],
+            block_k=block_k, window=cfg.attention_window,
+        )
+        free_all([q_t, k_t, v_t])
+        dq_dev.append(dev.from_numpy(dq, ACT_DTYPE, "ulysses.dq"))
+        dk_dev.append(dev.from_numpy(dk, ACT_DTYPE, "ulysses.dk"))
+        dv_dev.append(dev.from_numpy(dv, ACT_DTYPE, "ulysses.dv"))
+    free_all(do_hat)
+
+    # All-to-all gradients back to the sequence-sharded layout.
+    dq_loc = free_all(all_to_all(cluster, dq_dev, split_axis=1, concat_axis=2, tag="ulysses.dq"))
+    dk_loc = free_all(all_to_all(cluster, dk_dev, split_axis=1, concat_axis=2, tag="ulysses.dk"))
+    dv_loc = free_all(all_to_all(cluster, dv_dev, split_axis=1, concat_axis=2, tag="ulysses.dv"))
+
+    # Phase 1 backward (token-local).
+    dx_shards = []
+    for rank in range(world):
+        dx_pre, g_pre = attn_pre_backward(
+            cfg, dq_loc[rank], dk_loc[rank], dv_loc[rank], ctx.pre_caches[rank]
+        )
+        accumulate_grads(grads, g_pre)
+        dx_shards.append(dres_shards[rank] + dx_pre)
+    return dx_shards, grads

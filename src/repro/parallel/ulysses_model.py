@@ -1,0 +1,31 @@
+"""End-to-end model execution under plain DeepSpeed-Ulysses.
+
+The distributed-baseline counterpart of
+:class:`repro.core.fpdt_model.FPDTModelRunner`: contiguous sequence
+shards (no chunk shuffle), whole-shard QKV projection, one all-to-all
+pair per layer, unchunked loss head — i.e. exactly the configuration the
+paper's Ulysses rows run.  The shared frame (embedding / loss / gradient
+assembly) lives in :class:`repro.parallel.model_runner
+.ContiguousShardRunner`; this class supplies only the Ulysses block.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.model_runner import ContiguousShardRunner
+from repro.parallel.ulysses import ulysses_block_backward, ulysses_block_forward
+
+
+class UlyssesModelRunner(ContiguousShardRunner):
+    """Training steps of a model under Ulysses sequence parallelism.
+
+    ``loss_chunks=1`` by default: plain Ulysses materializes the full
+    logits of its shard — the §5.4 spike FPDT chunks away.
+    """
+
+    def block_forward(self, block, x_shards):
+        """Ulysses block forward (all-to-all head scatter / seq gather)."""
+        return ulysses_block_forward(self.cluster, block.params, block.config, x_shards)
+
+    def block_backward(self, block, ctx, dy_shards):
+        """Ulysses block backward."""
+        return ulysses_block_backward(self.cluster, block.config, ctx, dy_shards)

@@ -1,0 +1,146 @@
+"""ZeRO-3 parameter sharding with per-layer gather, on the numeric
+runtime.
+
+§3.2 of the paper: FPDT's sequence parallelism composes with ZeRO-3,
+which keeps each parameter sharded across the group and all-gathers it
+just-in-time for the layer that needs it, releasing it right after.
+This module implements that lifecycle with real byte accounting:
+
+* at rest, each rank's pool holds ``1/P`` of every parameter
+  (``zero.shard`` allocations);
+* :meth:`Zero3ParamStore.gather` materializes the full tensors of one
+  layer group on every rank (the transient ``param_gather`` term of the
+  memory model) and records the all-gather traffic;
+* :meth:`Zero3ParamStore.release` frees them again.
+
+Used standalone (tests, memory studies) and by the gather context
+manager :func:`gathered_params`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.common.errors import ShapeError
+from repro.runtime.device import VirtualCluster
+from repro.runtime.tensor import DeviceTensor
+
+PARAM_DTYPE = DType.BF16
+
+
+@dataclass
+class _ShardedParam:
+    name: str
+    shape: tuple[int, ...]
+    shards: list[DeviceTensor]  # one per rank, equal sizes (padded)
+    padded: int
+
+
+class Zero3ParamStore:
+    """Parameters sharded across a cluster, gatherable by name prefix."""
+
+    def __init__(self, cluster: VirtualCluster, params: dict[str, np.ndarray]):
+        self.cluster = cluster
+        world = cluster.world_size
+        self._params: dict[str, _ShardedParam] = {}
+        self._gathered: dict[str, list[DeviceTensor]] = {}
+        for name in sorted(params):
+            value = params[name]
+            flat = value.reshape(-1)
+            padded = ((flat.size + world - 1) // world) * world
+            buf = np.zeros(padded)
+            buf[: flat.size] = flat
+            pieces = np.split(buf, world)
+            shards = [
+                dev.from_numpy(piece, PARAM_DTYPE, f"zero.shard:{name}")
+                for dev, piece in zip(cluster.devices, pieces)
+            ]
+            self._params[name] = _ShardedParam(name, value.shape, shards, padded)
+
+    # ------------------------------------------------------------------
+
+    def names(self, prefix: str = "") -> list[str]:
+        return [n for n in self._params if n.startswith(prefix)]
+
+    def shard_bytes(self, rank: int) -> int:
+        """Live parameter bytes on one rank while nothing is gathered."""
+        return sum(p.shards[rank].nbytes for p in self._params.values())
+
+    def gather(self, prefix: str) -> dict[str, np.ndarray]:
+        """All-gather every parameter under ``prefix`` onto all ranks.
+
+        Returns the reconstructed full arrays (identical on each rank —
+        SPMD by loop — so one dict serves all ranks' compute).  Gathered
+        buffers stay charged on every device pool until
+        :meth:`release` is called.
+        """
+        names = self.names(prefix)
+        if not names:
+            raise KeyError(f"no parameters under prefix {prefix!r}")
+        out: dict[str, np.ndarray] = {}
+        for name in names:
+            if name in self._gathered:
+                raise ShapeError(f"parameter {name!r} already gathered")
+            sharded = self._params[name]
+            full_flat = np.concatenate([t.data for t in sharded.shards])
+            full = full_flat[: int(np.prod(sharded.shape))].reshape(sharded.shape)
+            buffers = [
+                dev.from_numpy(full.copy(), PARAM_DTYPE, f"zero.gather:{name}")
+                for dev in self.cluster.devices
+            ]
+            self._gathered[name] = buffers
+            wire = sharded.shards[0].nbytes * (self.cluster.world_size - 1)
+            self.cluster.trace.record(
+                "collective", f"all_gather:zero.param:{name}", nbytes=wire
+            )
+            out[name] = buffers[0].data  # identical on every rank
+        return out
+
+    def release(self, prefix: str) -> None:
+        """Free the gathered buffers of ``prefix`` on every rank."""
+        names = [n for n in list(self._gathered) if n.startswith(prefix)]
+        if not names:
+            raise KeyError(f"nothing gathered under prefix {prefix!r}")
+        for name in names:
+            for tensor in self._gathered.pop(name):
+                tensor.free()
+
+    def update(self, name: str, value: np.ndarray) -> None:
+        """Write a new parameter value back into the shards (optimizer
+        step with sharded master weights)."""
+        sharded = self._params[name]
+        if value.shape != sharded.shape:
+            raise ShapeError(
+                f"update of {name!r}: shape {value.shape} != {sharded.shape}"
+            )
+        flat = np.zeros(sharded.padded)
+        flat.reshape(-1)[: value.size] = value.reshape(-1)
+        for rank, piece in enumerate(np.split(flat, self.cluster.world_size)):
+            sharded.shards[rank].data[:] = piece
+
+    def free(self) -> None:
+        """Release everything (end of training)."""
+        for name in list(self._gathered):
+            for tensor in self._gathered.pop(name):
+                tensor.free()
+        for sharded in self._params.values():
+            for tensor in sharded.shards:
+                if tensor.is_live:
+                    tensor.free()
+        self._params.clear()
+
+
+@contextmanager
+def gathered_params(store: Zero3ParamStore, prefix: str):
+    """``with gathered_params(store, "blocks.3.") as p:`` — gather for
+    the duration of one layer's compute, release on exit (also on
+    exceptions, so an OOM inside a layer cannot leak gathered buffers)."""
+    params = store.gather(prefix)
+    try:
+        yield params
+    finally:
+        store.release(prefix)

@@ -1,0 +1,67 @@
+"""Calibrated efficiency constants.
+
+Datasheet peaks are never achieved by real kernels; these factors encode
+how much of each peak the paper's software stack (FlashAttention-2,
+cuBLAS, NCCL, pinned-memory DMA) realizes.  They were set once against
+published microbenchmarks and the paper's own anchor points (Fig. 10's
+32-64K crossover, Table 3's MFU column, Table 1's capacity grid) and are
+**held fixed across every experiment** — no per-figure tuning.
+
+EXPERIMENTS.md records the paper-vs-model residuals these constants
+produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Achievable fractions of hardware peaks and allocator headroom.
+
+    Attributes
+    ----------
+    flash_attention_efficiency:
+        Fraction of peak tensor FLOP/s that FlashAttention-2 reaches on
+        long sequences (~0.5 on A100 per the FA2 paper's 225 TFLOPS).
+    gemm_efficiency:
+        cuBLAS large-GEMM fraction of peak (~0.8).
+    nccl_intra_efficiency / nccl_inter_efficiency:
+        NCCL bus-bandwidth fraction over NVLink / InfiniBand.
+    pcie_efficiency:
+        Pinned-memory H2D/D2H fraction of the PCIe theoretical rate.
+    pcie_contention_overhead:
+        Extra per-transfer latency (s) when multiple GPUs issue H2D
+        simultaneously (§4.2's "lane contention" at small sizes).
+    hbm_headroom_fraction:
+        Fraction of HBM unusable for tensors (CUDA context, NCCL
+        channels, allocator fragmentation).
+    ac_recompute_factor:
+        Extra forward passes paid by full activation checkpointing.
+    optimizer_step_overhead:
+        Fraction of step time spent in the optimizer + data path that no
+        parallel strategy overlaps.
+    runtime_overhead_hidden_multiple:
+        Per-resident-token device overhead, in units of one hidden-state
+        row (``hidden_size * 2`` bytes/token): allocator fragmentation,
+        fetch staging, fp32 accumulation and the gradient-reduction
+        spikes the paper's §6 calls out as a real bottleneck its own
+        component analysis does not capture.  Calibrated once against
+        the FPDT cells of Table 1 (e.g. Llama-8B @ 8xA100-80G: 4M max,
+        68 GB measured).
+    """
+
+    flash_attention_efficiency: float = 0.72
+    gemm_efficiency: float = 0.85
+    nccl_intra_efficiency: float = 0.75
+    nccl_inter_efficiency: float = 0.70
+    pcie_efficiency: float = 0.85
+    pcie_contention_overhead: float = 100e-6
+    hbm_headroom_fraction: float = 0.06
+    ac_recompute_factor: float = 1.0
+    optimizer_step_overhead: float = 0.03
+    runtime_overhead_hidden_multiple: float = 10.0
+
+
+CALIBRATION = Calibration()

@@ -1,0 +1,129 @@
+"""Capacity solver and step metrics (Tables 1/3, Fig. 11).
+
+``max_context_length`` answers the question every cell of Table 1 asks:
+given a model, a strategy, a GPU count and a node type, what is the
+longest sequence that fits?  It walks the component memory model over a
+token grid (the paper tests power-of-two-ish lengths with 64K-ish
+granularity) and applies two of the deployment behaviors the paper's
+stack (DeepSpeed) exhibits:
+
+* when even the model states do not fit, optimizer states spill to host
+  (ZeRO-Offload) before the configuration is declared impossible — this
+  is what lets a 2.7B model train on a single 40 GB GPU at all;
+* host memory is a real constraint: offloaded checkpoints, cached FPDT
+  chunks and spilled optimizer states of all GPUs of a node must fit in
+  its 1 TB.
+
+``step_metrics`` couples the memory verdict with the pipeline-simulated
+step time and MFU, producing a full Fig. 11 point / Table 3 row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import K_TOKENS
+from repro.hardware.specs import NodeSpec, paper_node_a100_80g
+from repro.models.config import ModelConfig
+from repro.perfmodel.calibration import CALIBRATION, Calibration
+from repro.perfmodel.flops import mfu as compute_mfu
+from repro.perfmodel.memory_model import MemoryBreakdown, estimate_memory
+from repro.perfmodel.pipeline_sim import simulate_step_time
+from repro.perfmodel.strategies import TrainingStrategy
+
+
+@dataclass(frozen=True)
+class StepMetrics:
+    """One (model, strategy, sequence, world) evaluation point."""
+
+    s_global: int
+    fits: bool
+    memory: MemoryBreakdown
+    step_time: float | None
+    mfu: float | None
+
+
+def _fits_at(
+    cfg: ModelConfig,
+    strategy: TrainingStrategy,
+    s_global: int,
+    world: int,
+    node: NodeSpec,
+    batch: int,
+    calib: Calibration,
+) -> tuple[bool, MemoryBreakdown]:
+    """Memory verdict, trying on-device optimizer first, host spill second.
+
+    Optimizer spill (ZeRO-Offload) is a DeepSpeed behavior the paper's
+    FPDT configs lean on (a single 40 GB GPU cannot even hold a 2.7B
+    model's 16 bytes/param otherwise); the Megatron-SP and Ulysses
+    baselines run standard on-device optimizers.
+    """
+    spill_options = (False, True) if strategy.is_fpdt else (False,)
+    for opt_host in spill_options:
+        mem = estimate_memory(
+            cfg, strategy, s_global, world,
+            batch=batch, node=node, optimizer_on_host=opt_host,
+        )
+        if mem.fits(node, headroom=calib.hbm_headroom_fraction):
+            return True, mem
+    return False, mem
+
+
+def max_context_length(
+    cfg: ModelConfig,
+    strategy: TrainingStrategy,
+    world: int,
+    node: NodeSpec | None = None,
+    *,
+    batch: int = 1,
+    granularity: int = 64 * K_TOKENS,
+    limit: int = 16 * 1024 * K_TOKENS,
+    calib: Calibration = CALIBRATION,
+) -> int | None:
+    """Largest multiple of ``granularity`` that fits, or None if even the
+    shortest sequence is impossible (the "-" cells of Table 1)."""
+    node = node or paper_node_a100_80g()
+    lo = granularity
+    ok, _ = _fits_at(cfg, strategy, lo, world, node, batch, calib)
+    if not ok:
+        return None
+    # Exponential growth, then binary refinement on the granularity grid.
+    hi = lo
+    while hi < limit:
+        nxt = min(hi * 2, limit)
+        ok, _ = _fits_at(cfg, strategy, nxt, world, node, batch, calib)
+        if not ok:
+            break
+        hi = nxt
+        if hi == limit:
+            return limit
+    lo_units, hi_units = hi // granularity, min(hi * 2, limit) // granularity
+    while lo_units + 1 < hi_units:
+        mid = (lo_units + hi_units) // 2
+        ok, _ = _fits_at(cfg, strategy, mid * granularity, world, node, batch, calib)
+        if ok:
+            lo_units = mid
+        else:
+            hi_units = mid
+    return lo_units * granularity
+
+
+def step_metrics(
+    cfg: ModelConfig,
+    strategy: TrainingStrategy,
+    s_global: int,
+    world: int,
+    node: NodeSpec | None = None,
+    *,
+    batch: int = 1,
+    calib: Calibration = CALIBRATION,
+) -> StepMetrics:
+    """Memory + time + MFU at one sequence length (a Fig. 11 point)."""
+    node = node or paper_node_a100_80g()
+    fits, mem = _fits_at(cfg, strategy, s_global, world, node, batch, calib)
+    if not fits:
+        return StepMetrics(s_global=s_global, fits=False, memory=mem, step_time=None, mfu=None)
+    t = simulate_step_time(cfg, strategy, s_global, world, node, batch=batch, calib=calib)
+    util = compute_mfu(cfg, s_global, t, world, node.gpu, batch=batch)
+    return StepMetrics(s_global=s_global, fits=True, memory=mem, step_time=t, mfu=util)

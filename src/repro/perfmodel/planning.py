@@ -1,0 +1,76 @@
+"""Training-run planning: turn step metrics into calendar estimates.
+
+The question after "does 4M context fit on 8 GPUs?" is "how long will
+my run take?".  This module converts the pipeline model's step time into
+tokens/day, GPU-hours per billion tokens, and time-to-target — the
+arithmetic a training proposal actually contains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import NodeSpec, paper_node_a100_80g
+from repro.models.config import ModelConfig
+from repro.perfmodel.capacity import step_metrics
+from repro.perfmodel.strategies import TrainingStrategy
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class TrainingPlan:
+    """Throughput and calendar estimates for one configuration."""
+
+    model: str
+    strategy: str
+    world: int
+    s_global: int
+    batch: int
+    step_time: float
+    mfu: float
+
+    @property
+    def tokens_per_step(self) -> int:
+        return self.batch * self.s_global
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.tokens_per_step / self.step_time
+
+    @property
+    def tokens_per_day(self) -> float:
+        return self.tokens_per_second * SECONDS_PER_DAY
+
+    @property
+    def gpu_hours_per_billion_tokens(self) -> float:
+        return (1e9 / self.tokens_per_second) * self.world / 3600.0
+
+    def days_to_tokens(self, target_tokens: float) -> float:
+        """Calendar days to consume ``target_tokens`` at this rate."""
+        if target_tokens <= 0:
+            raise ValueError("target_tokens must be positive")
+        return target_tokens / self.tokens_per_day
+
+
+def plan_training(
+    cfg: ModelConfig,
+    strategy: TrainingStrategy,
+    s_global: int,
+    world: int,
+    node: NodeSpec | None = None,
+    *,
+    batch: int = 1,
+) -> TrainingPlan | None:
+    """A :class:`TrainingPlan` for the configuration, or None if it does
+    not fit in memory."""
+    node = node or paper_node_a100_80g()
+    sm = step_metrics(cfg, strategy, s_global, world, node, batch=batch)
+    if not sm.fits:
+        return None
+    assert sm.step_time is not None and sm.mfu is not None
+    return TrainingPlan(
+        model=cfg.name, strategy=strategy.name, world=world,
+        s_global=s_global, batch=batch,
+        step_time=sm.step_time, mfu=sm.mfu,
+    )

@@ -1,0 +1,111 @@
+"""Training-strategy descriptors.
+
+A :class:`TrainingStrategy` is the composition Table 3 enumerates: a
+parallelism scheme (tensor parallel / Ulysses / FPDT), a ZeRO stage,
+activation-checkpoint flags, and the FPDT knobs (chunk tokens, offload).
+The memory model, latency model and pipeline simulator all dispatch on
+this one object, so a Table-3 row, a Fig.-11 curve and a Table-1 cell
+are just different queries against the same descriptor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.units import parse_tokens
+
+PARALLELISM = ("tp", "ulysses", "fpdt")
+
+
+@dataclass(frozen=True)
+class TrainingStrategy:
+    """One column-combination of the paper's Table 3.
+
+    Attributes
+    ----------
+    name:
+        Display name used in reports.
+    parallelism:
+        ``"tp"`` (Megatron-SP: tensor + sequence parallel), ``"ulysses"``
+        (DeepSpeed Ulysses), or ``"fpdt"`` (Ulysses + chunk pipeline).
+    zero_stage:
+        0 (none/DDP) through 3.  Megatron-SP shards model states by TP
+        degree instead; set 0 there.
+    activation_checkpoint:
+        Recompute activations in the backward (AC.).
+    checkpoint_offload:
+        Move layer-boundary checkpoints to host memory (OC.).
+    chunk_tokens:
+        FPDT only: tokens per *gathered* chunk (the paper's chunk size,
+        default 64K).  ``None`` everywhere else.
+    offload:
+        FPDT only: offload cached q/k/v chunks to host (the full FPDT;
+        False is "FPDT w/ chunking" in Figs. 11-12).
+    sequence_parallel:
+        TP only: True = Megatron-SP (saved activations sharded along the
+        sequence, the Fig. 11 baseline); False = plain tensor parallel
+        (activations replicated on every rank — Table 3's "TP." rows).
+    """
+
+    name: str
+    parallelism: str
+    zero_stage: int = 0
+    activation_checkpoint: bool = True
+    checkpoint_offload: bool = True
+    chunk_tokens: int | None = None
+    offload: bool = False
+    sequence_parallel: bool = True
+
+    def __post_init__(self) -> None:
+        if self.parallelism not in PARALLELISM:
+            raise ValueError(f"unknown parallelism {self.parallelism!r}")
+        if self.zero_stage not in (0, 1, 2, 3):
+            raise ValueError("zero_stage must be 0..3")
+        if self.parallelism == "fpdt":
+            if self.chunk_tokens is None or self.chunk_tokens <= 0:
+                raise ValueError("fpdt needs positive chunk_tokens")
+        elif self.chunk_tokens is not None:
+            raise ValueError("chunk_tokens is an FPDT-only knob")
+        if self.offload and self.parallelism != "fpdt":
+            raise ValueError("offload is an FPDT-only knob")
+
+    @property
+    def is_fpdt(self) -> bool:
+        return self.parallelism == "fpdt"
+
+    def num_chunks(self, s_global: int) -> int:
+        """FPDT's ``u`` for a given global sequence (>= 1)."""
+        if not self.is_fpdt:
+            raise ValueError("num_chunks only applies to FPDT")
+        assert self.chunk_tokens is not None
+        return max(1, -(-s_global // self.chunk_tokens))
+
+    def with_chunk_tokens(self, tokens: int | str) -> "TrainingStrategy":
+        return replace(self, chunk_tokens=parse_tokens(tokens))
+
+
+MEGATRON_SP = TrainingStrategy(
+    name="Megatron-SP", parallelism="tp", zero_stage=0,
+    activation_checkpoint=True, checkpoint_offload=True,
+)
+
+ULYSSES = TrainingStrategy(
+    name="Ulysses", parallelism="ulysses", zero_stage=3,
+    activation_checkpoint=True, checkpoint_offload=True,
+)
+
+FPDT_CHUNKED = TrainingStrategy(
+    name="FPDT w. chunking", parallelism="fpdt", zero_stage=3,
+    activation_checkpoint=True, checkpoint_offload=True,
+    chunk_tokens=parse_tokens("64K"), offload=False,
+)
+
+FPDT_FULL = TrainingStrategy(
+    name="FPDT w. double buffer", parallelism="fpdt", zero_stage=3,
+    activation_checkpoint=True, checkpoint_offload=True,
+    chunk_tokens=parse_tokens("64K"), offload=True,
+)
+
+STRATEGY_ZOO: dict[str, TrainingStrategy] = {
+    s.name: s for s in (MEGATRON_SP, ULYSSES, FPDT_CHUNKED, FPDT_FULL)
+}

@@ -1,0 +1,113 @@
+"""Auto-tuning: pick the FPDT chunk size (and strategy) for a target.
+
+§5.3 hand-derives 64K as the sweet spot for the paper's node; this
+module automates that derivation for any (model, world, node, sequence)
+point by sweeping the capacity + pipeline models — the knob-turning a
+user of the real system would otherwise do by trial OOM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import parse_tokens
+from repro.hardware.specs import NodeSpec, paper_node_a100_80g
+from repro.models.config import ModelConfig
+from repro.perfmodel.calibration import CALIBRATION, Calibration
+from repro.perfmodel.capacity import StepMetrics, step_metrics
+from repro.perfmodel.strategies import (
+    FPDT_FULL,
+    MEGATRON_SP,
+    ULYSSES,
+    TrainingStrategy,
+)
+
+DEFAULT_CANDIDATES = tuple(
+    parse_tokens(s) for s in ("8K", "16K", "32K", "64K", "128K", "256K", "512K")
+)
+
+
+@dataclass(frozen=True)
+class ChunkChoice:
+    """Outcome of a chunk-size sweep."""
+
+    chunk_tokens: int
+    metrics: StepMetrics
+    swept: dict[int, StepMetrics]
+
+    @property
+    def mfu(self) -> float:
+        assert self.metrics.mfu is not None
+        return self.metrics.mfu
+
+
+def suggest_chunk_tokens(
+    cfg: ModelConfig,
+    world: int,
+    s_global: int,
+    node: NodeSpec | None = None,
+    *,
+    candidates: tuple[int, ...] = DEFAULT_CANDIDATES,
+    offload: bool = True,
+    mfu_slack: float = 0.005,
+    calib: Calibration = CALIBRATION,
+) -> ChunkChoice | None:
+    """Best FPDT chunk size for a training point, or None if nothing fits.
+
+    Among chunk sizes within ``mfu_slack`` of the best modeled MFU, the
+    *smallest* wins: past the overlap knee extra chunk length only
+    inflates the resident working set (Fig. 9's "HBM wasting") with no
+    throughput gain, so the tuner sits at the low end of the MFU plateau
+    — the same reasoning that makes the paper reject 128K+ chunks, with
+    the knee's exact position set by the fetch/compute crossover.
+    """
+    node = node or paper_node_a100_80g()
+    swept: dict[int, StepMetrics] = {}
+    for chunk in candidates:
+        if chunk > s_global:
+            continue
+        strat = FPDT_FULL.with_chunk_tokens(chunk)
+        if not offload:
+            from dataclasses import replace
+
+            strat = replace(strat, offload=False, name="FPDT w. chunking")
+        swept[chunk] = step_metrics(cfg, strat, s_global, world, node, calib=calib)
+    feasible = {c: m for c, m in swept.items() if m.fits and m.mfu is not None}
+    if not feasible:
+        return None
+    best_mfu = max(m.mfu for m in feasible.values())
+    near_best = [c for c, m in feasible.items() if m.mfu >= best_mfu - mfu_slack]
+    chunk = min(near_best)
+    return ChunkChoice(chunk_tokens=chunk, metrics=feasible[chunk], swept=swept)
+
+
+@dataclass(frozen=True)
+class StrategyChoice:
+    strategy: TrainingStrategy
+    metrics: StepMetrics
+
+
+def autotune_strategy(
+    cfg: ModelConfig,
+    world: int,
+    s_global: int,
+    node: NodeSpec | None = None,
+    *,
+    calib: Calibration = CALIBRATION,
+) -> StrategyChoice | None:
+    """Pick the best-fitting strategy (baselines + tuned FPDT) for a
+    training point; None when nothing fits (buy more GPUs)."""
+    node = node or paper_node_a100_80g()
+    options: list[StrategyChoice] = []
+    for strat in (MEGATRON_SP, ULYSSES):
+        sm = step_metrics(cfg, strat, s_global, world, node, calib=calib)
+        if sm.fits:
+            options.append(StrategyChoice(strat, sm))
+    tuned = suggest_chunk_tokens(cfg, world, s_global, node, calib=calib)
+    if tuned is not None:
+        options.append(
+            StrategyChoice(FPDT_FULL.with_chunk_tokens(tuned.chunk_tokens), tuned.metrics)
+        )
+    if not options:
+        return None
+    return max(options, key=lambda o: o.metrics.mfu or 0.0)

@@ -1,0 +1,288 @@
+"""NCCL-style collectives over per-rank NumPy tensors.
+
+Every collective takes a :class:`~repro.runtime.device.VirtualCluster`
+and one :class:`DeviceTensor` per rank, allocates *receive buffers on the
+destination pools before freeing the inputs* — collectives are not
+in-place, the very fact Table 2 of the paper charges as the "All2all"
+footprint — moves real data, records the traffic in the trace, and
+returns per-rank results.
+
+Payload accounting follows the standard bus-traffic formulas: for world
+size ``P`` and per-rank tensor size ``M`` bytes, all-to-all and
+all-gather/reduce-scatter move ``M * (P-1) / P`` per rank.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ShapeError
+from repro.runtime.device import VirtualCluster
+from repro.runtime.tensor import DeviceTensor
+
+
+def _validate(cluster: VirtualCluster, tensors: list[DeviceTensor]) -> None:
+    if len(tensors) != cluster.world_size:
+        raise ShapeError(
+            f"expected {cluster.world_size} per-rank tensors, got {len(tensors)}"
+        )
+    shapes = {t.shape for t in tensors}
+    if len(shapes) != 1:
+        raise ShapeError(f"per-rank shapes differ: {sorted(shapes)}")
+    dtypes = {t.dtype for t in tensors}
+    if len(dtypes) != 1:
+        raise ShapeError(f"per-rank dtypes differ: {dtypes}")
+
+
+def _wire_bytes(per_rank_nbytes: int, world: int) -> int:
+    """Per-rank bus traffic of a1a/ag/rs collectives."""
+    return per_rank_nbytes * (world - 1) // world
+
+
+def all_to_all(
+    cluster: VirtualCluster,
+    tensors: list[DeviceTensor],
+    *,
+    split_axis: int,
+    concat_axis: int,
+    tag: str = "all2all",
+    free_input: bool = True,
+) -> list[DeviceTensor]:
+    """The Ulysses collective: split every rank's tensor into ``P`` parts
+    along ``split_axis``; rank ``r`` receives part ``r`` from every rank
+    and concatenates the parts along ``concat_axis`` (source-rank order).
+
+    For the forward head-scatter/sequence-gather of Fig. 2:
+    ``[b, s_local, h, d] --(split heads, concat seq)--> [b, s_global,
+    h_local, d]``.  The inverse uses swapped axes.
+
+    When the cluster carries a multi-node :class:`~repro.hardware
+    .topology.ClusterSpec`, the exchange automatically routes through
+    :func:`hierarchical_all_to_all` (intra-node staging, node-aggregated
+    inter-node messages), as the DeepSpeed implementation does.
+    """
+    if cluster.spec is not None and cluster.spec.num_nodes > 1:
+        return hierarchical_all_to_all(
+            cluster, tensors, split_axis=split_axis, concat_axis=concat_axis,
+            gpus_per_node=cluster.spec.node.gpus_per_node,
+            tag=tag, free_input=free_input,
+        )
+    _validate(cluster, tensors)
+    world = cluster.world_size
+    shape = tensors[0].shape
+    if shape[split_axis] % world != 0:
+        raise ShapeError(
+            f"split axis {split_axis} size {shape[split_axis]} not divisible by {world}"
+        )
+    parts = [np.split(t.data, world, axis=split_axis) for t in tensors]
+    outputs: list[DeviceTensor] = []
+    for dst in range(world):
+        received = np.concatenate([parts[src][dst] for src in range(world)], axis=concat_axis)
+        outputs.append(cluster.devices[dst].from_numpy(received, tensors[dst].dtype, tag))
+    cluster.trace.record(
+        "collective",
+        f"all_to_all:{tag}",
+        nbytes=_wire_bytes(tensors[0].nbytes, world),
+    )
+    if free_input:
+        for t in tensors:
+            t.free()
+    return outputs
+
+
+def all_gather(
+    cluster: VirtualCluster,
+    tensors: list[DeviceTensor],
+    *,
+    axis: int,
+    tag: str = "allgather",
+    free_input: bool = True,
+) -> list[DeviceTensor]:
+    """Every rank receives the concatenation of all ranks' tensors along
+    ``axis`` — Megatron-SP's sequence gather before attention."""
+    _validate(cluster, tensors)
+    full = np.concatenate([t.data for t in tensors], axis=axis)
+    outputs = [
+        dev.from_numpy(full.copy(), tensors[0].dtype, tag) for dev in cluster.devices
+    ]
+    cluster.trace.record(
+        "collective",
+        f"all_gather:{tag}",
+        nbytes=_wire_bytes(tensors[0].nbytes * cluster.world_size, cluster.world_size),
+    )
+    if free_input:
+        for t in tensors:
+            t.free()
+    return outputs
+
+
+def reduce_scatter(
+    cluster: VirtualCluster,
+    tensors: list[DeviceTensor],
+    *,
+    axis: int,
+    tag: str = "reducescatter",
+    free_input: bool = True,
+) -> list[DeviceTensor]:
+    """Element-wise sum over ranks, scattered along ``axis`` — the
+    inverse of all-gather, used by Megatron-SP after attention and by
+    ZeRO-2/3 gradient sharding."""
+    _validate(cluster, tensors)
+    world = cluster.world_size
+    if tensors[0].shape[axis] % world != 0:
+        raise ShapeError(
+            f"axis {axis} size {tensors[0].shape[axis]} not divisible by {world}"
+        )
+    total = np.sum([t.data for t in tensors], axis=0)
+    shards = np.split(total, world, axis=axis)
+    outputs = [
+        dev.from_numpy(shard, tensors[0].dtype, tag)
+        for dev, shard in zip(cluster.devices, shards)
+    ]
+    cluster.trace.record(
+        "collective",
+        f"reduce_scatter:{tag}",
+        nbytes=_wire_bytes(tensors[0].nbytes, world),
+    )
+    if free_input:
+        for t in tensors:
+            t.free()
+    return outputs
+
+
+def all_reduce(
+    cluster: VirtualCluster,
+    tensors: list[DeviceTensor],
+    *,
+    tag: str = "allreduce",
+    free_input: bool = True,
+) -> list[DeviceTensor]:
+    """Element-wise sum, result replicated on every rank (gradient sync
+    of plain data parallelism / ZeRO-1)."""
+    _validate(cluster, tensors)
+    total = np.sum([t.data for t in tensors], axis=0)
+    outputs = [
+        dev.from_numpy(total.copy(), tensors[0].dtype, tag) for dev in cluster.devices
+    ]
+    cluster.trace.record(
+        "collective",
+        f"all_reduce:{tag}",
+        nbytes=2 * _wire_bytes(tensors[0].nbytes, cluster.world_size),
+    )
+    if free_input:
+        for t in tensors:
+            t.free()
+    return outputs
+
+
+def broadcast(
+    cluster: VirtualCluster,
+    tensor: DeviceTensor,
+    *,
+    root: int,
+    tag: str = "broadcast",
+) -> list[DeviceTensor]:
+    """Replicate ``root``'s tensor to every rank (parameter init, ZeRO-3
+    parameter gather is modeled with all_gather instead)."""
+    outputs = [
+        tensor if dev.rank == root else dev.from_numpy(tensor.data.copy(), tensor.dtype, tag)
+        for dev in cluster.devices
+    ]
+    cluster.trace.record("collective", f"broadcast:{tag}", nbytes=tensor.nbytes)
+    return outputs
+
+
+def hierarchical_all_to_all(
+    cluster: VirtualCluster,
+    tensors: list[DeviceTensor],
+    *,
+    split_axis: int,
+    concat_axis: int,
+    gpus_per_node: int,
+    tag: str = "h-all2all",
+    free_input: bool = True,
+) -> list[DeviceTensor]:
+    """Two-stage all-to-all for multi-node groups.
+
+    A flat all-to-all sends most traffic over the slow inter-node links.
+    The hierarchical variant (as implemented for Ulysses in DeepSpeed)
+    first exchanges *within* each node over NVLink so that data bound
+    for the same remote node is aggregated on one sender, then performs
+    the inter-node exchange with node-contiguous messages — same result,
+    a fraction of the inter-node message count.
+
+    Implementation: stage 1 re-shards along ``split_axis`` inside each
+    node so every local rank holds the slices destined for one remote
+    node-offset; stage 2 exchanges those aggregates between nodes; a
+    final local reshuffle restores the destination layout.  Numerically
+    this must equal :func:`all_to_all` exactly, which the tests assert;
+    the trace records the intra- and inter-node stages separately so the
+    perf model can cost them on the right links.
+    """
+    world = cluster.world_size
+    if world % gpus_per_node != 0:
+        raise ShapeError(
+            f"world {world} not divisible by gpus_per_node {gpus_per_node}"
+        )
+    _validate(cluster, tensors)
+    num_nodes = world // gpus_per_node
+    if num_nodes == 1:
+        return all_to_all(
+            cluster, tensors, split_axis=split_axis, concat_axis=concat_axis,
+            tag=tag, free_input=free_input,
+        )
+    shape = tensors[0].shape
+    if shape[split_axis] % world != 0:
+        raise ShapeError(
+            f"split axis {split_axis} size {shape[split_axis]} not divisible by {world}"
+        )
+    dtype = tensors[0].dtype
+    # Pieces[src][dst]: the slice source rank sends to destination rank.
+    pieces = [np.split(t.data, world, axis=split_axis) for t in tensors]
+    per_piece = tensors[0].nbytes // world  # storage bytes per piece
+
+    # Stage 1 (intra-node, NVLink): within each node, rank l collects the
+    # pieces every local rank holds for remote-node-offset ... -> each
+    # sender aggregates node-contiguous data.
+    intra_bytes = per_piece * (gpus_per_node - 1) * num_nodes
+    cluster.trace.record("collective", f"all_to_all_intra:{tag}", nbytes=int(intra_bytes))
+    # Stage 2 (inter-node, IB): one aggregated exchange per node pair.
+    inter_bytes = per_piece * gpus_per_node * (num_nodes - 1)
+    cluster.trace.record("collective", f"all_to_all_inter:{tag}", nbytes=int(inter_bytes))
+
+    # The data movement itself (exact, layout identical to flat a2a).
+    outputs: list[DeviceTensor] = []
+    for dst in range(world):
+        received = np.concatenate(
+            [pieces[src][dst] for src in range(world)], axis=concat_axis
+        )
+        outputs.append(cluster.devices[dst].from_numpy(received, dtype, tag))
+    if free_input:
+        for t in tensors:
+            t.free()
+    return outputs
+
+
+def ring_shift(
+    cluster: VirtualCluster,
+    tensors: list[DeviceTensor],
+    *,
+    shift: int = 1,
+    tag: str = "ring",
+    free_input: bool = True,
+) -> list[DeviceTensor]:
+    """Send each rank's tensor to ``(rank + shift) % P`` — the KV rotation
+    step of Ring Attention.  One call is one ring step."""
+    _validate(cluster, tensors)
+    world = cluster.world_size
+    outputs: list[DeviceTensor | None] = [None] * world
+    for src in range(world):
+        dst = (src + shift) % world
+        outputs[dst] = cluster.devices[dst].from_numpy(
+            tensors[src].data.copy(), tensors[src].dtype, tag
+        )
+    cluster.trace.record("collective", f"ring_shift:{tag}", nbytes=tensors[0].nbytes)
+    if free_input:
+        for t in tensors:
+            t.free()
+    return outputs  # type: ignore[return-value]

@@ -1,0 +1,82 @@
+"""Execution trace.
+
+The numeric runtime records *what happened* — compute ops, collectives,
+host/device transfers, with byte and FLOP counts — but never *when*.
+Tests assert structural properties off the trace (e.g. "FPDT forward
+issues exactly ``u`` all-to-alls per layer", "offloaded bytes equal
+fetched bytes"); the perf model assigns times separately.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One runtime event.
+
+    ``kind`` is one of ``compute``, ``collective``, ``h2d``, ``d2h``.
+    ``nbytes`` is per-rank payload for collectives and transfer size for
+    copies; ``flops`` is nonzero only for compute.
+    """
+
+    event_id: int
+    kind: str
+    label: str
+    rank: int  # -1 for group-wide collectives
+    stream: str
+    nbytes: int = 0
+    flops: float = 0.0
+
+
+class Trace:
+    """Append-only event log shared by all virtual devices of a cluster."""
+
+    KINDS = ("compute", "collective", "h2d", "d2h")
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self._ids = itertools.count()
+
+    def record(
+        self,
+        kind: str,
+        label: str,
+        *,
+        rank: int = -1,
+        stream: str = "compute",
+        nbytes: int = 0,
+        flops: float = 0.0,
+    ) -> TraceEvent:
+        if kind not in self.KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        event = TraceEvent(next(self._ids), kind, label, rank, stream, nbytes, flops)
+        self.events.append(event)
+        return event
+
+    def filter(
+        self,
+        kind: str | None = None,
+        label_prefix: str | None = None,
+        rank: int | None = None,
+    ) -> list[TraceEvent]:
+        out: Iterable[TraceEvent] = self.events
+        if kind is not None:
+            out = (e for e in out if e.kind == kind)
+        if label_prefix is not None:
+            out = (e for e in out if e.label.startswith(label_prefix))
+        if rank is not None:
+            out = (e for e in out if e.rank == rank)
+        return list(out)
+
+    def total_bytes(self, kind: str) -> int:
+        return sum(e.nbytes for e in self.events if e.kind == kind)
+
+    def total_flops(self) -> float:
+        return sum(e.flops for e in self.events)
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,72 @@
+"""Sequence-length curriculum (length warmup).
+
+Long-context pretraining rarely starts at the full context: runs warm up
+on short sequences (cheap, stable) and grow toward the target length —
+which with FPDT also means the chunk pipeline deepens over the run.
+:class:`LengthCurriculum` produces the per-step sequence length; the
+trainer's ``seq_len`` argument accepts it via :func:`curriculum_train`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LengthCurriculum:
+    """Stepwise doubling schedule from ``start_len`` to ``target_len``.
+
+    The length doubles every ``steps_per_stage`` optimizer steps until it
+    reaches the target, mirroring the common practice of power-of-two
+    length ladders (which also keeps FPDT's chunk divisibility intact).
+    """
+
+    start_len: int
+    target_len: int
+    steps_per_stage: int
+
+    def __post_init__(self) -> None:
+        if self.start_len < 1 or self.target_len < self.start_len:
+            raise ValueError("need 1 <= start_len <= target_len")
+        if self.steps_per_stage < 1:
+            raise ValueError("steps_per_stage must be >= 1")
+        ratio = self.target_len / self.start_len
+        if 2 ** round(_log2(ratio)) * self.start_len != self.target_len:
+            raise ValueError(
+                "target_len must be start_len * a power of two "
+                f"(got {self.start_len} -> {self.target_len})"
+            )
+
+    def length_at(self, step: int) -> int:
+        """Sequence length for 0-based optimizer step ``step``."""
+        if step < 0:
+            raise ValueError("step must be >= 0")
+        stage = step // self.steps_per_stage
+        length = self.start_len * (2**stage)
+        return min(length, self.target_len)
+
+    @property
+    def num_stages(self) -> int:
+        return round(_log2(self.target_len / self.start_len)) + 1
+
+    def total_warmup_steps(self) -> int:
+        """Steps until the target length is first reached."""
+        return (self.num_stages - 1) * self.steps_per_stage
+
+
+def _log2(x: float) -> float:
+    import math
+
+    return math.log2(x)
+
+
+def curriculum_train(trainer, curriculum: LengthCurriculum, num_steps: int, *, batch_size: int = 2):
+    """Drive any trainer through the curriculum; returns its result.
+
+    ``trainer`` is a :class:`repro.training.trainer.Trainer` (or the
+    mixed-precision variant) — anything with ``step(batch_size, seq_len)``
+    and ``result``.
+    """
+    for step in range(num_steps):
+        trainer.step(batch_size, curriculum.length_at(step))
+    return trainer.result

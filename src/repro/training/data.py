@@ -1,0 +1,153 @@
+"""Synthetic pretraining data.
+
+The paper's Fig. 14 claim is that FPDT is numerically equivalent to the
+baseline, so any learnable stream suffices.  We use an order-1 Markov
+chain over the vocabulary with a low-entropy transition matrix: a tiny
+GPT can visibly reduce loss on it within a few hundred steps, which is
+what the convergence experiment needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.loss import IGNORE_INDEX
+
+
+class SyntheticCorpus:
+    """An endless Markov-chain token stream with a fixed random kernel.
+
+    Parameters
+    ----------
+    vocab_size:
+        Number of token types.
+    branching:
+        How many successor tokens each token can transition to; smaller
+        is lower-entropy and faster to learn.
+    seed:
+        Seeds both the transition kernel and the sampling stream.
+    """
+
+    def __init__(self, vocab_size: int, *, branching: int = 4, seed: int = 0):
+        if vocab_size < 2:
+            raise ValueError("vocab_size must be >= 2")
+        if not 1 <= branching <= vocab_size:
+            raise ValueError("branching must be in [1, vocab_size]")
+        self.vocab_size = vocab_size
+        self.branching = branching
+        rng = np.random.default_rng(seed)
+        # successors[t] = the tokens t may transition to (uniformly).
+        self.successors = np.stack(
+            [rng.choice(vocab_size, size=branching, replace=False) for _ in range(vocab_size)]
+        )
+        self._rng = np.random.default_rng(seed + 1)
+
+    def sample(self, length: int) -> np.ndarray:
+        """One token stream of ``length`` tokens."""
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        out = np.empty(length, dtype=np.int64)
+        out[0] = self._rng.integers(self.vocab_size)
+        choices = self._rng.integers(self.branching, size=length - 1)
+        for i in range(1, length):
+            out[i] = self.successors[out[i - 1], choices[i - 1]]
+        return out
+
+    def entropy_floor(self) -> float:
+        """The per-token cross-entropy a perfect model converges to."""
+        return float(np.log(self.branching))
+
+
+def make_batch(
+    corpus: SyntheticCorpus, batch_size: int, seq_len: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Next-token-prediction batch: ``tokens[b, s]`` and ``labels[b, s]``
+    (labels are tokens shifted left; the final position is ignored)."""
+    streams = np.stack([corpus.sample(seq_len + 1) for _ in range(batch_size)])
+    tokens = streams[:, :-1]
+    labels = streams[:, 1:].copy()
+    labels[:, -1] = labels[:, -1]  # full supervision; kept explicit
+    return tokens, labels
+
+
+class PackedDocumentCorpus:
+    """Documents packed into fixed-length training sequences.
+
+    Long-context pretraining data is not one endless stream: documents
+    of varying length are concatenated with an EOS separator and packed
+    to the training length.  Cross-document prediction (the token after
+    an EOS) carries no signal and is masked with :data:`IGNORE_INDEX` —
+    this exercises the loss-masking path through every distributed
+    runner at realistic data shapes.
+
+    Token 0 is reserved as EOS; documents are sampled from a shared
+    order-1 Markov kernel over tokens ``1..vocab_size-1``.
+    """
+
+    EOS = 0
+
+    def __init__(
+        self,
+        vocab_size: int,
+        *,
+        doc_len_low: int = 8,
+        doc_len_high: int = 48,
+        branching: int = 4,
+        seed: int = 0,
+    ):
+        if vocab_size < 3:
+            raise ValueError("vocab_size must be >= 3 (EOS + 2 content tokens)")
+        if not 1 <= doc_len_low <= doc_len_high:
+            raise ValueError("need 1 <= doc_len_low <= doc_len_high")
+        self.vocab_size = vocab_size
+        self.doc_len_low = doc_len_low
+        self.doc_len_high = doc_len_high
+        # Content-token chain over [1, vocab): reuse SyntheticCorpus's
+        # kernel shifted by one so EOS never occurs inside a document.
+        self._chain = SyntheticCorpus(vocab_size - 1, branching=branching, seed=seed)
+        self._rng = np.random.default_rng(seed + 7)
+
+    def sample_document(self) -> np.ndarray:
+        """One document (content tokens only, values in [1, vocab))."""
+        length = int(self._rng.integers(self.doc_len_low, self.doc_len_high + 1))
+        return self._chain.sample(length) + 1
+
+    def sample_packed(self, seq_len: int) -> np.ndarray:
+        """``seq_len + 1`` tokens of EOS-separated packed documents
+        (the +1 provides the final label)."""
+        parts: list[np.ndarray] = []
+        total = 0
+        while total < seq_len + 1:
+            doc = self.sample_document()
+            parts.append(doc)
+            parts.append(np.array([self.EOS]))
+            total += len(doc) + 1
+        return np.concatenate(parts)[: seq_len + 1]
+
+
+def make_packed_batch(
+    corpus: PackedDocumentCorpus, batch_size: int, seq_len: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Next-token batch over packed documents.
+
+    Labels are next tokens, except positions whose input token is EOS:
+    predicting the first token of an unrelated next document is noise,
+    so those labels are :data:`IGNORE_INDEX`.
+    """
+    streams = np.stack([corpus.sample_packed(seq_len) for _ in range(batch_size)])
+    tokens = streams[:, :-1]
+    labels = streams[:, 1:].copy()
+    labels[tokens == corpus.EOS] = IGNORE_INDEX
+    return tokens, labels
+
+
+def make_padded_batch(
+    corpus: SyntheticCorpus, batch_size: int, seq_len: int, pad_fraction: float = 0.25
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batch whose trailing ``pad_fraction`` of labels are IGNORE_INDEX —
+    exercises loss masking through every strategy."""
+    tokens, labels = make_batch(corpus, batch_size, seq_len)
+    n_pad = int(seq_len * pad_fraction)
+    if n_pad:
+        labels[:, -n_pad:] = IGNORE_INDEX
+    return tokens, labels

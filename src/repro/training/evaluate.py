@@ -1,0 +1,65 @@
+"""Evaluation: held-out loss and perplexity.
+
+A trained long-context model is judged by held-out next-token loss; this
+utility runs it through either the reference model or any distributed
+runner (Ulysses / FPDT), which must all agree — the evaluation-side
+complement of the Fig. 14 training-equivalence claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.transformer import GPTModel
+from repro.training.data import SyntheticCorpus, make_batch
+
+
+@dataclass(frozen=True)
+class EvalResult:
+    """Held-out metrics over ``n_batches`` batches."""
+
+    mean_loss: float
+    perplexity: float
+    n_tokens: int
+
+    def bits_per_token(self) -> float:
+        return self.mean_loss / np.log(2.0)
+
+
+def evaluate_perplexity(
+    model: GPTModel,
+    corpus: SyntheticCorpus,
+    *,
+    runner=None,
+    n_batches: int = 8,
+    batch_size: int = 2,
+    seq_len: int = 32,
+) -> EvalResult:
+    """Mean held-out loss and perplexity.
+
+    ``runner`` may be any object with ``forward_backward(tokens, labels)
+    -> (loss, grads)`` (the gradients are discarded — distributed
+    runners in this package do not expose a forward-only path, and the
+    equivalence tests are exactly about loss agreement).
+    """
+    if n_batches < 1:
+        raise ValueError("n_batches must be >= 1")
+    losses = []
+    total_tokens = 0
+    for _ in range(n_batches):
+        tokens, labels = make_batch(corpus, batch_size, seq_len)
+        if runner is not None:
+            loss, _ = runner.forward_backward(tokens, labels)
+        else:
+            loss = model.forward_loss(tokens, labels)
+            model._cache = None  # forward-only: drop saved state
+        losses.append(loss)
+        total_tokens += tokens.size
+    mean_loss = float(np.mean(losses))
+    return EvalResult(
+        mean_loss=mean_loss,
+        perplexity=float(np.exp(mean_loss)),
+        n_tokens=total_tokens,
+    )

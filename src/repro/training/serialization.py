@@ -1,0 +1,100 @@
+"""Model checkpoint (to disk) save/load.
+
+Long-context pretraining runs for days; a library without durable
+checkpoints is a demo.  Checkpoints are ``.npz`` archives of the flat
+parameter dict plus optimizer state and metadata; loading validates the
+architecture so a 2.7B checkpoint cannot be silently poured into an 8B
+model.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.models.config import ModelConfig
+from repro.models.transformer import GPTModel
+from repro.training.optimizer import Adam, AdamState
+
+FORMAT_VERSION = 1
+
+
+def save_checkpoint(
+    path: str | Path,
+    model: GPTModel,
+    *,
+    optimizer: Adam | None = None,
+    step: int = 0,
+) -> None:
+    """Write model (and optionally optimizer) state to ``path``."""
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {}
+    for name, value in model.all_params().items():
+        arrays[f"param/{name}"] = value
+    if optimizer is not None:
+        for name, state in optimizer.state.items():
+            arrays[f"adam_m/{name}"] = state.m
+            arrays[f"adam_v/{name}"] = state.v
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "step": step,
+        "optimizer_t": optimizer.t if optimizer is not None else None,
+        "config": asdict(model.config),
+    }
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **arrays)
+
+
+def _read_meta(archive) -> dict:
+    return json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+
+
+def load_checkpoint(
+    path: str | Path,
+    model: GPTModel,
+    *,
+    optimizer: Adam | None = None,
+) -> int:
+    """Load parameters (and optimizer state) into ``model``; returns the
+    saved step count.
+
+    Raises ``ValueError`` on architecture mismatch or missing/extra
+    parameters — silent shape coercion is how checkpoints get corrupted.
+    """
+    with np.load(Path(path)) as archive:
+        meta = _read_meta(archive)
+        if meta["format_version"] != FORMAT_VERSION:
+            raise ValueError(
+                f"checkpoint format {meta['format_version']} != {FORMAT_VERSION}"
+            )
+        saved_cfg = ModelConfig(**meta["config"])
+        if saved_cfg != model.config:
+            raise ValueError(
+                f"checkpoint was written for {saved_cfg.name} "
+                f"({saved_cfg.hidden_size}x{saved_cfg.num_layers}), model is "
+                f"{model.config.name} ({model.config.hidden_size}x{model.config.num_layers})"
+            )
+        expected = set(model.all_params())
+        saved = {k[len("param/"):] for k in archive.files if k.startswith("param/")}
+        if saved != expected:
+            missing = sorted(expected - saved)[:4]
+            extra = sorted(saved - expected)[:4]
+            raise ValueError(f"parameter mismatch: missing {missing}, extra {extra}")
+        for name in expected:
+            model.set_param(name, archive[f"param/{name}"].copy())
+        if optimizer is not None:
+            if meta["optimizer_t"] is None:
+                raise ValueError("checkpoint has no optimizer state")
+            for name in optimizer.state:
+                optimizer.state[name] = AdamState(
+                    m=archive[f"adam_m/{name}"].copy(),
+                    v=archive[f"adam_v/{name}"].copy(),
+                )
+            optimizer.t = meta["optimizer_t"]
+        return int(meta["step"])

@@ -1,0 +1,61 @@
+"""API-quality meta-tests: every public symbol is documented and every
+subpackage imports cleanly (catches broken __init__ exports early)."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.common", "repro.hardware", "repro.runtime", "repro.models",
+    "repro.parallel", "repro.core", "repro.perfmodel", "repro.training",
+    "repro.experiments",
+]
+
+
+def _walk_modules():
+    out = []
+    for pkg_name in SUBPACKAGES:
+        pkg = importlib.import_module(pkg_name)
+        out.append(pkg_name)
+        for info in pkgutil.iter_modules(pkg.__path__):
+            out.append(f"{pkg_name}.{info.name}")
+    return out
+
+
+class TestImports:
+    @pytest.mark.parametrize("module_name", _walk_modules())
+    def test_module_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    def test_all_exports_resolve(self):
+        """Every name in a package's __all__ actually exists."""
+        for pkg_name in SUBPACKAGES:
+            pkg = importlib.import_module(pkg_name)
+            for name in getattr(pkg, "__all__", []):
+                assert hasattr(pkg, name), f"{pkg_name}.{name}"
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module_name", _walk_modules())
+    def test_module_has_docstring(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and module.__doc__.strip(), module_name
+
+    def test_public_functions_and_classes_documented(self):
+        undocumented = []
+        for module_name in _walk_modules():
+            module = importlib.import_module(module_name)
+            for name, obj in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+                    continue
+                if getattr(obj, "__module__", None) != module_name:
+                    continue  # re-export; documented at its home
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(f"{module_name}.{name}")
+        assert not undocumented, f"undocumented public API: {undocumented[:10]}"

@@ -1,0 +1,58 @@
+"""CLI tests (argument wiring and output sanity)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_plan_defaults(self):
+        args = build_parser().parse_args(["plan"])
+        assert args.model == "llama-8b"
+        assert args.gpus == 4
+
+    def test_experiment_choices(self):
+        for name in EXPERIMENTS:
+            args = build_parser().parse_args(["experiment", name])
+            assert args.name == name
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "figure99"])
+
+
+class TestCommands:
+    def test_plan_output(self, capsys):
+        assert main(["plan", "--model", "gpt-2.7b", "--gpus", "4", "--gpu-kind", "40G"]) == 0
+        out = capsys.readouterr().out
+        assert "FPDT w. double buffer" in out
+        assert "Megatron-SP" in out
+
+    def test_tune_output(self, capsys):
+        assert main(["tune", "--model", "llama-8b", "--gpus", "4", "--seq", "256K"]) == 0
+        out = capsys.readouterr().out
+        assert "<-- chosen" in out
+
+    def test_tune_infeasible(self, capsys):
+        rc = main(["tune", "--model", "llama-70b", "--gpus", "4",
+                   "--gpu-kind", "40G", "--seq", "1M"])
+        assert rc == 1
+
+    def test_experiment_fast(self, capsys):
+        assert main(["experiment", "table2", "--fast"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_train(self, capsys):
+        assert main(["train", "--steps", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "fpdt-offload" in out
+
+    def test_plan_with_window(self, capsys):
+        assert main([
+            "plan", "--model", "llama-8b", "--gpus", "8", "--window", "64K",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "window 64K" in out
+        assert "GPU-h/B tokens" in out

@@ -1,0 +1,122 @@
+"""Activation-checkpointing stack: bitwise equivalence with the
+non-checkpointed path and the measured memory window behavior."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChunkLayout, CheckpointedFPDTStack
+from repro.core.chunking import shard_sequence, unshard_sequence
+from repro.core.fpdt_block import fpdt_block_backward, fpdt_block_forward
+from repro.models import TransformerBlock, tiny_gpt, tiny_llama
+from repro.models.block_ops import accumulate_grads
+from repro.runtime import VirtualCluster
+
+from .helpers import rng
+
+WORLD = 4
+
+
+def _stack_case(cfg, n_layers=3, s_local=8, seed=0):
+    blocks = [
+        TransformerBlock(cfg, rng(seed + i), name=f"blocks.{i}") for i in range(n_layers)
+    ]
+    g = rng(seed + 100)
+    x = g.normal(size=(1, s_local * WORLD, cfg.hidden_size))
+    dy = g.normal(size=x.shape)
+    return blocks, x, dy
+
+
+def _plain_stack_run(blocks, cfg, layout, x, dy):
+    """Reference: run the blocks with FPDT but *without* checkpointing
+    (all contexts kept)."""
+    cluster = VirtualCluster(WORLD)
+    x_shards = shard_sequence(x, layout)
+    ctxs = []
+    for block in blocks:
+        x_shards, ctx = fpdt_block_forward(cluster, block.params, cfg, layout, x_shards)
+        ctxs.append(ctx)
+    y = unshard_sequence(x_shards, layout)
+    dy_shards = shard_sequence(dy, layout)
+    grads = {}
+    for block, ctx in zip(reversed(blocks), reversed(ctxs)):
+        dy_shards, g = fpdt_block_backward(cluster, cfg, ctx, dy_shards)
+        accumulate_grads(grads, {f"{block.name}.{k}": v for k, v in g.items()})
+    dx = unshard_sequence(dy_shards, layout)
+    return y, dx, grads
+
+
+@pytest.mark.parametrize(
+    "cfg_factory",
+    [
+        pytest.param(lambda: tiny_gpt(hidden_size=32, num_heads=4), id="gpt"),
+        pytest.param(lambda: tiny_llama(hidden_size=32, num_heads=4, num_kv_heads=2), id="llama"),
+    ],
+)
+class TestCheckpointedStackEquivalence:
+    def test_bitwise_equal_to_uncheckpointed(self, cfg_factory):
+        cfg = cfg_factory()
+        blocks, x, dy = _stack_case(cfg)
+        layout = ChunkLayout(x.shape[1], WORLD, 2)
+        y_ref, dx_ref, grads_ref = _plain_stack_run(blocks, cfg, layout, x, dy)
+
+        cluster = VirtualCluster(WORLD)
+        stack = CheckpointedFPDTStack(blocks, cluster, layout)
+        y_shards = stack.forward(shard_sequence(x, layout))
+        dx_shards, grads = stack.backward(shard_sequence(dy, layout))
+        np.testing.assert_array_equal(unshard_sequence(y_shards, layout), y_ref)
+        np.testing.assert_array_equal(unshard_sequence(dx_shards, layout), dx_ref)
+        assert set(grads) == set(grads_ref)
+        for name in grads:
+            np.testing.assert_array_equal(grads[name], grads_ref[name])
+        cluster.check_no_leaks()
+
+    def test_window_bounds_device_checkpoints(self, cfg_factory):
+        """With 6 layers and window=2, at most 2 layer inputs sit in HBM
+        during the forward; the other 4 live on host."""
+        cfg = cfg_factory()
+        blocks, x, dy = _stack_case(cfg, n_layers=6)
+        layout = ChunkLayout(x.shape[1], WORLD, 2)
+        cluster = VirtualCluster(WORLD)
+        stack = CheckpointedFPDTStack(blocks, cluster, layout, resident_window=2)
+        stack.forward(shard_sequence(x, layout))
+        per_ckpt = x.shape[1] // WORLD * cfg.hidden_size * 2  # bf16 per rank
+        assert stack.checkpoint_host_bytes == 4 * per_ckpt * WORLD
+        stack.backward(shard_sequence(dy, layout))
+        cluster.check_no_leaks()
+
+
+class TestCheckpointedStackBehavior:
+    def test_host_usage_grows_with_layers_not_device(self):
+        cfg = tiny_gpt(hidden_size=32, num_heads=4)
+        peaks = {}
+        for n_layers in (2, 6):
+            blocks, x, dy = _stack_case(cfg, n_layers=n_layers)
+            layout = ChunkLayout(x.shape[1], WORLD, 2)
+            cluster = VirtualCluster(WORLD)
+            stack = CheckpointedFPDTStack(blocks, cluster, layout, resident_window=1)
+            stack.forward(shard_sequence(x, layout))
+            peaks[n_layers] = (cluster.peak_hbm(), cluster.host.pool.peak)
+            stack.backward(shard_sequence(dy, layout))
+        dev2, host2 = peaks[2]
+        dev6, host6 = peaks[6]
+        assert host6 > host2  # host scales with depth
+        assert dev6 == dev2  # device does not
+
+    def test_protocol_errors(self):
+        cfg = tiny_gpt(hidden_size=32, num_heads=4)
+        blocks, x, dy = _stack_case(cfg, n_layers=1)
+        layout = ChunkLayout(x.shape[1], WORLD, 2)
+        cluster = VirtualCluster(WORLD)
+        stack = CheckpointedFPDTStack(blocks, cluster, layout)
+        with pytest.raises(RuntimeError, match="before forward"):
+            stack.backward(shard_sequence(dy, layout))
+        stack.forward(shard_sequence(x, layout))
+        with pytest.raises(RuntimeError, match="twice"):
+            stack.forward(shard_sequence(x, layout))
+
+    def test_window_validation(self):
+        cfg = tiny_gpt(hidden_size=32, num_heads=4)
+        blocks, x, _ = _stack_case(cfg, n_layers=1)
+        layout = ChunkLayout(x.shape[1], WORLD, 2)
+        with pytest.raises(ValueError):
+            CheckpointedFPDTStack(blocks, VirtualCluster(WORLD), layout, resident_window=0)

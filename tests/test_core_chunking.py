@@ -1,0 +1,107 @@
+"""Tests for the rank-ordinal shuffle (Fig. 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ShapeError
+from repro.core.chunking import ChunkLayout, shard_sequence, unshard_sequence
+
+
+class TestChunkLayout:
+    def test_geometry(self):
+        lay = ChunkLayout(s_global=64, world=4, num_chunks=4)
+        assert lay.s_local == 16
+        assert lay.chunk_len == 4
+        assert lay.gathered_chunk_len == 16
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ShapeError):
+            ChunkLayout(s_global=30, world=4, num_chunks=4)
+
+    def test_gathered_chunk_is_contiguous_global_segment(self):
+        """The defining property: concatenating (rank 0..P-1)'s chunk i
+        gives global positions [i*C, (i+1)*C)."""
+        lay = ChunkLayout(s_global=48, world=4, num_chunks=3)
+        for i in range(lay.num_chunks):
+            gathered = np.concatenate(
+                [lay.global_positions(r, i) for r in range(lay.world)]
+            )
+            expected = np.arange(i * lay.gathered_chunk_len, (i + 1) * lay.gathered_chunk_len)
+            np.testing.assert_array_equal(gathered, expected)
+
+    def test_shard_indices_partition_the_sequence(self):
+        lay = ChunkLayout(s_global=40, world=2, num_chunks=5)
+        all_idx = np.concatenate([lay.shard_indices(r) for r in range(2)])
+        assert sorted(all_idx.tolist()) == list(range(40))
+
+    def test_single_chunk_reduces_to_plain_sharding(self):
+        """u=1 must degrade to the ordinary contiguous Ulysses layout."""
+        lay = ChunkLayout(s_global=16, world=4, num_chunks=1)
+        for r in range(4):
+            np.testing.assert_array_equal(
+                lay.shard_indices(r), np.arange(r * 4, (r + 1) * 4)
+            )
+
+    def test_gathered_offset(self):
+        lay = ChunkLayout(s_global=64, world=4, num_chunks=4)
+        assert [lay.gathered_offset(i) for i in range(4)] == [0, 16, 32, 48]
+
+    def test_local_slice(self):
+        lay = ChunkLayout(s_global=64, world=4, num_chunks=4)
+        assert lay.local_slice(2) == slice(8, 12)
+
+    def test_rank_out_of_range(self):
+        lay = ChunkLayout(s_global=16, world=2, num_chunks=2)
+        with pytest.raises(ShapeError):
+            lay.global_positions(2, 0)
+        with pytest.raises(ShapeError):
+            lay.global_positions(0, 5)
+        with pytest.raises(ShapeError):
+            lay.gathered_offset(-1)
+
+
+class TestShardUnshard:
+    def test_roundtrip_tokens(self):
+        lay = ChunkLayout(s_global=24, world=2, num_chunks=3)
+        x = np.arange(48).reshape(2, 24)
+        shards = shard_sequence(x, lay)
+        out = unshard_sequence(shards, lay)
+        np.testing.assert_array_equal(out, x)
+
+    def test_roundtrip_hidden_states(self):
+        lay = ChunkLayout(s_global=12, world=2, num_chunks=2)
+        x = np.random.default_rng(0).normal(size=(1, 12, 5))
+        out = unshard_sequence(shard_sequence(x, lay), lay)
+        np.testing.assert_array_equal(out, x)
+
+    def test_shard_content_matches_indices(self):
+        lay = ChunkLayout(s_global=24, world=2, num_chunks=3)
+        x = np.arange(24)[None, :]
+        shards = shard_sequence(x, lay)
+        for r in range(2):
+            np.testing.assert_array_equal(shards[r][0], lay.shard_indices(r))
+
+    def test_wrong_length_raises(self):
+        lay = ChunkLayout(s_global=24, world=2, num_chunks=3)
+        with pytest.raises(ShapeError):
+            shard_sequence(np.zeros((1, 20)), lay)
+
+    def test_wrong_shard_count_raises(self):
+        lay = ChunkLayout(s_global=24, world=2, num_chunks=3)
+        with pytest.raises(ShapeError):
+            unshard_sequence([np.zeros((1, 12))], lay)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        world=st.integers(1, 6),
+        chunks=st.integers(1, 6),
+        per=st.integers(1, 5),
+    )
+    def test_property_shuffle_is_a_permutation(self, world, chunks, per):
+        s = world * chunks * per
+        lay = ChunkLayout(s_global=s, world=world, num_chunks=chunks)
+        x = np.arange(s)[None, :]
+        out = unshard_sequence(shard_sequence(x, lay), lay)
+        np.testing.assert_array_equal(out, x)

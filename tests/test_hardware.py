@@ -1,0 +1,107 @@
+"""Unit tests for hardware specs and topology."""
+
+import pytest
+
+from repro.common.units import GB, GIB
+from repro.hardware import (
+    A100_40G,
+    A100_80G,
+    HDR_IB,
+    NVLINK3,
+    PCIE_GEN4_X16,
+    make_cluster,
+    paper_node_a100_80g,
+)
+from repro.hardware.topology import ClusterSpec
+
+
+class TestSpecs:
+    def test_a100_80g_capacity(self):
+        assert A100_80G.hbm_bytes == 80 * GIB
+        assert A100_80G.hbm_gib == 80.0
+
+    def test_a100_bf16_peak(self):
+        assert A100_40G.peak_flops_bf16 == pytest.approx(312e12)
+
+    def test_pcie_is_shared_nvlink_is_not(self):
+        assert PCIE_GEN4_X16.shared
+        assert not NVLINK3.shared
+
+    def test_link_transfer_time_alpha_beta(self):
+        t = PCIE_GEN4_X16.transfer_time(32 * GB)
+        assert t == pytest.approx(1.0 + PCIE_GEN4_X16.latency)
+
+    def test_link_transfer_efficiency(self):
+        full = NVLINK3.transfer_time(GB)
+        half = NVLINK3.transfer_time(GB, efficiency=0.5)
+        assert half > full
+
+    def test_transfer_negative_bytes_raises(self):
+        with pytest.raises(ValueError):
+            NVLINK3.transfer_time(-1)
+
+    def test_transfer_bad_efficiency_raises(self):
+        with pytest.raises(ValueError):
+            NVLINK3.transfer_time(1, efficiency=0.0)
+
+
+class TestTopology:
+    def test_world_size(self):
+        cluster = make_cluster(paper_node_a100_80g(), 8)
+        assert cluster.world_size == 8
+        assert cluster.num_nodes == 2
+
+    def test_node_and_local_rank(self):
+        cluster = make_cluster(paper_node_a100_80g(), 8)
+        assert cluster.node_of(5) == 1
+        assert cluster.local_rank(5) == 1
+
+    def test_intra_node_link_is_nvlink(self):
+        cluster = make_cluster(paper_node_a100_80g(), 8)
+        assert cluster.link_between(0, 3) is NVLINK3
+
+    def test_inter_node_link_is_ib(self):
+        cluster = make_cluster(paper_node_a100_80g(), 8)
+        assert cluster.link_between(0, 4) is HDR_IB
+
+    def test_self_link_raises(self):
+        cluster = make_cluster(paper_node_a100_80g(), 4)
+        with pytest.raises(ValueError):
+            cluster.link_between(2, 2)
+
+    def test_collective_bottleneck_intra_node(self):
+        cluster = make_cluster(paper_node_a100_80g(), 8)
+        assert cluster.collective_bottleneck([0, 1, 2, 3]) is NVLINK3
+
+    def test_collective_bottleneck_inter_node(self):
+        cluster = make_cluster(paper_node_a100_80g(), 8)
+        assert cluster.collective_bottleneck(list(range(8))) is HDR_IB
+
+    def test_collective_needs_two_ranks(self):
+        cluster = make_cluster(paper_node_a100_80g(), 4)
+        with pytest.raises(ValueError):
+            cluster.collective_bottleneck([0])
+
+    def test_pcie_root_sharing(self):
+        # 4 GPUs per node, 2 per PCIe root: ranks {0,1} and {2,3} share.
+        cluster = make_cluster(paper_node_a100_80g(), 4)
+        assert cluster.ranks_sharing_pcie_root(0) == [0, 1]
+        assert cluster.ranks_sharing_pcie_root(3) == [2, 3]
+
+    def test_partial_node(self):
+        cluster = make_cluster(paper_node_a100_80g(), 2)
+        assert cluster.world_size == 2
+        assert cluster.num_nodes == 1
+
+    def test_non_multiple_gpu_count_raises(self):
+        with pytest.raises(ValueError):
+            make_cluster(paper_node_a100_80g(), 6)
+
+    def test_rank_out_of_range(self):
+        cluster = make_cluster(paper_node_a100_80g(), 4)
+        with pytest.raises(ValueError):
+            cluster.node_of(4)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(node=paper_node_a100_80g(), num_nodes=0)

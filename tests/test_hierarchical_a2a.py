@@ -1,0 +1,161 @@
+"""Hierarchical (two-stage) all-to-all: exact equivalence with the flat
+collective, and the inter-node traffic reduction it exists for."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.dtypes import DType
+from repro.common.errors import ShapeError
+from repro.runtime import VirtualCluster
+from repro.runtime.collectives import all_to_all, hierarchical_all_to_all
+
+from .helpers import rng
+
+
+def _tensors(cluster, arrays):
+    return [
+        dev.from_numpy(a, DType.BF16, "x") for dev, a in zip(cluster.devices, arrays)
+    ]
+
+
+class TestHierarchicalEquivalence:
+    def test_matches_flat_all_to_all(self):
+        world, per_node = 8, 4
+        g = rng(0)
+        arrays = [g.normal(size=(1, 4, 16, 3)) for _ in range(world)]
+        c_flat, c_hier = VirtualCluster(world), VirtualCluster(world)
+        flat = all_to_all(c_flat, _tensors(c_flat, arrays), split_axis=2, concat_axis=1)
+        hier = hierarchical_all_to_all(
+            c_hier, _tensors(c_hier, arrays),
+            split_axis=2, concat_axis=1, gpus_per_node=per_node,
+        )
+        for a, b in zip(flat, hier):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_single_node_degrades_to_flat(self):
+        world = 4
+        g = rng(1)
+        arrays = [g.normal(size=(1, 2, 8, 2)) for _ in range(world)]
+        cluster = VirtualCluster(world)
+        hierarchical_all_to_all(
+            cluster, _tensors(cluster, arrays),
+            split_axis=2, concat_axis=1, gpus_per_node=4,
+        )
+        # no intra/inter split recorded — it ran as a flat a2a
+        labels = [e.label for e in cluster.trace.filter(kind="collective")]
+        assert any(l.startswith("all_to_all:") for l in labels)
+        assert not any("intra" in l for l in labels)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        nodes=st.integers(2, 3),
+        per_node=st.integers(2, 4),
+        seed=st.integers(0, 200),
+    )
+    def test_property_equivalence(self, nodes, per_node, seed):
+        world = nodes * per_node
+        g = rng(seed)
+        arrays = [g.normal(size=(1, 2, world * 2, 2)) for _ in range(world)]
+        c_flat, c_hier = VirtualCluster(world), VirtualCluster(world)
+        flat = all_to_all(c_flat, _tensors(c_flat, arrays), split_axis=2, concat_axis=1)
+        hier = hierarchical_all_to_all(
+            c_hier, _tensors(c_hier, arrays),
+            split_axis=2, concat_axis=1, gpus_per_node=per_node,
+        )
+        for a, b in zip(flat, hier):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_inverse_restores_layout(self):
+        world, per_node = 8, 4
+        g = rng(2)
+        full = g.normal(size=(1, 16, 8, 2))
+        cluster = VirtualCluster(world)
+        shards = cluster.scatter(full, axis=1, dtype=DType.BF16, tag="x")
+        fwd = hierarchical_all_to_all(
+            cluster, shards, split_axis=2, concat_axis=1, gpus_per_node=per_node
+        )
+        back = hierarchical_all_to_all(
+            cluster, fwd, split_axis=1, concat_axis=2, gpus_per_node=per_node
+        )
+        out = cluster.gather(back, axis=1, free=True)
+        np.testing.assert_allclose(out, full, atol=1e-7)
+
+
+class TestHierarchicalTraffic:
+    def test_inter_node_bytes_below_flat_wire(self):
+        """The point of the hierarchy: inter-node bytes per rank are a
+        fraction of the flat collective's wire volume."""
+        world, per_node = 8, 4
+        g = rng(3)
+        arrays = [g.normal(size=(1, 4, 16, 4)) for _ in range(world)]
+        c_flat, c_hier = VirtualCluster(world), VirtualCluster(world)
+        all_to_all(c_flat, _tensors(c_flat, arrays), split_axis=2, concat_axis=1)
+        flat_wire = c_flat.trace.filter(kind="collective")[0].nbytes
+        hierarchical_all_to_all(
+            c_hier, _tensors(c_hier, arrays),
+            split_axis=2, concat_axis=1, gpus_per_node=per_node,
+        )
+        inter = [
+            e.nbytes for e in c_hier.trace.filter(kind="collective")
+            if "inter" in e.label
+        ][0]
+        # flat: 7/8 of the tensor crosses some link, 4/8 inter-node;
+        # hierarchical: the same 4/8 inter-node but aggregated — and the
+        # recorded inter stage must not exceed the flat wire volume.
+        assert inter <= flat_wire
+
+    def test_validation(self):
+        cluster = VirtualCluster(4)
+        arrays = [np.zeros((1, 2, 8, 2)) for _ in range(4)]
+        with pytest.raises(ShapeError):
+            hierarchical_all_to_all(
+                cluster, _tensors(cluster, arrays),
+                split_axis=2, concat_axis=1, gpus_per_node=3,
+            )
+        t = _tensors(cluster, [np.zeros((1, 2, 6, 2))] * 4)
+        with pytest.raises(ShapeError):
+            hierarchical_all_to_all(
+                cluster, t, split_axis=2, concat_axis=1, gpus_per_node=2,
+            )
+
+
+class TestAutoHierarchicalRouting:
+    def test_spec_cluster_routes_hierarchically(self):
+        """A cluster with a multi-node topology spec automatically uses
+        the two-stage exchange; results are unchanged."""
+        from repro.hardware import make_cluster, paper_node_a100_80g
+        from repro.models import TransformerBlock, tiny_gpt
+        from repro.parallel import ulysses_block_forward
+
+        from .helpers import rng as _rng
+
+        cfg = tiny_gpt(hidden_size=32, num_heads=8)
+        block = TransformerBlock(cfg, _rng(0))
+        x = _rng(1).normal(size=(1, 32, cfg.hidden_size))
+        shards = np.split(x, 8, axis=1)
+
+        plain = VirtualCluster(8)
+        y_plain, _ = ulysses_block_forward(plain, block.params, cfg, shards)
+
+        spec = make_cluster(paper_node_a100_80g(), 8)  # 2 nodes
+        with_spec = VirtualCluster(8, spec=spec)
+        y_spec, _ = ulysses_block_forward(with_spec, block.params, cfg, shards)
+
+        for a, b in zip(y_plain, y_spec):
+            np.testing.assert_array_equal(a, b)
+        labels = [e.label for e in with_spec.trace.filter(kind="collective")]
+        assert any("intra" in l for l in labels)
+        assert any("inter" in l for l in labels)
+        assert not any("intra" in e.label for e in plain.trace.filter(kind="collective"))
+
+    def test_single_node_spec_stays_flat(self):
+        from repro.hardware import make_cluster, paper_node_a100_80g
+
+        spec = make_cluster(paper_node_a100_80g(), 4)
+        cluster = VirtualCluster(4, spec=spec)
+        arrays = [np.zeros((1, 2, 8, 2)) for _ in range(4)]
+        all_to_all(cluster, _tensors(cluster, arrays), split_axis=2, concat_axis=1)
+        labels = [e.label for e in cluster.trace.filter(kind="collective")]
+        assert not any("intra" in l for l in labels)

@@ -1,0 +1,61 @@
+"""Stress integration: the largest toy-scale FPDT run in the suite —
+8 ranks, deep chunk pipeline, GQA + window, forward + backward + step —
+exercising scheduling paths (prefetch windows, chunk counts) that small
+configs cannot reach."""
+
+import numpy as np
+
+from repro.core import FPDTModelRunner
+from repro.models import GPTModel, tiny_llama
+from repro.runtime import VirtualCluster
+
+from .helpers import rng
+
+
+class TestStressLargeToy:
+    def test_deep_pipeline_step(self):
+        world, num_chunks, s = 8, 8, 512
+        cfg = tiny_llama(
+            hidden_size=64, num_heads=8, num_kv_heads=4, num_layers=2, vocab_size=64
+        ).scaled(attention_window=192)
+        model = GPTModel(cfg, seed=0)
+        cluster = VirtualCluster(world)
+        runner = FPDTModelRunner(
+            model, cluster, num_chunks=num_chunks,
+            offload=True, activation_checkpoint=True, loss_chunks=4,
+        )
+        g = rng(1)
+        tokens = g.integers(0, cfg.vocab_size, size=(1, s))
+        labels = g.integers(0, cfg.vocab_size, size=(1, s))
+        loss, grads = runner.forward_backward(tokens, labels)
+        assert np.isfinite(loss)
+        assert all(np.isfinite(v).all() for v in grads.values())
+        cluster.check_no_leaks()
+        # Deep pipeline really ran: u chunks x 4 a2a per chunk per layer
+        # in the forward, plus recompute and backward.
+        a2a = cluster.trace.filter(kind="collective", label_prefix="all_to_all:fpdt")
+        assert len(a2a) >= 2 * num_chunks * 4
+        # Offload traffic flowed both ways and host drained fully.
+        assert cluster.trace.total_bytes("d2h") > 0
+        assert cluster.host.pool.in_use == 0
+
+    def test_matches_reference_at_scale(self):
+        world, num_chunks, s = 8, 8, 256
+        cfg = tiny_llama(
+            hidden_size=64, num_heads=8, num_kv_heads=2, num_layers=1, vocab_size=64
+        )
+        g = rng(2)
+        tokens = g.integers(0, cfg.vocab_size, size=(1, s))
+        labels = g.integers(0, cfg.vocab_size, size=(1, s))
+        ref = GPTModel(cfg, seed=3)
+        ref_loss = ref.forward_loss(tokens, labels)
+        ref.backward_loss()
+        model = GPTModel(cfg, seed=3)
+        runner = FPDTModelRunner(
+            model, VirtualCluster(world), num_chunks=num_chunks, loss_chunks=4
+        )
+        loss, grads = runner.forward_backward(tokens, labels)
+        assert abs(loss - ref_loss) < 1e-10
+        np.testing.assert_allclose(
+            grads["embed.table"], ref.all_grads()["embed.table"], rtol=1e-6, atol=1e-8
+        )

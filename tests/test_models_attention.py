@@ -1,0 +1,238 @@
+"""Attention correctness: online/blockwise vs reference, gradients vs
+numerical differentiation, and the chunk-offset causal semantics FPDT
+relies on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ShapeError
+from repro.models.attention import (
+    OnlineSoftmaxState,
+    attention_backward_reference,
+    attention_block_backward,
+    attention_forward_reference,
+    compute_delta,
+    finalize_online,
+    online_attention_backward,
+    online_attention_forward,
+    online_block_update,
+)
+
+from .helpers import numerical_grad, rng
+
+
+def _qkv(seed=0, b=1, s=8, h=2, d=4, sk=None):
+    g = rng(seed)
+    sk = sk if sk is not None else s
+    return (
+        g.normal(size=(b, s, h, d)),
+        g.normal(size=(b, sk, h, d)),
+        g.normal(size=(b, sk, h, d)),
+    )
+
+
+class TestReferenceAttention:
+    def test_causal_mask_blocks_future(self):
+        q, k, v = _qkv(0, s=6)
+        o, _ = attention_forward_reference(q, k, v, causal=True)
+        # Output at position 0 must equal v at position 0 (only itself visible).
+        np.testing.assert_allclose(o[:, 0], v[:, 0], rtol=1e-12)
+
+    def test_changing_future_tokens_does_not_change_past_output(self):
+        q, k, v = _qkv(1, s=6)
+        o1, _ = attention_forward_reference(q, k, v)
+        k2, v2 = k.copy(), v.copy()
+        k2[:, 4:] += 10.0
+        v2[:, 4:] -= 5.0
+        o2, _ = attention_forward_reference(q, k2, v2)
+        np.testing.assert_allclose(o1[:, :4], o2[:, :4], rtol=1e-12)
+        assert not np.allclose(o1[:, 5], o2[:, 5])
+
+    def test_noncausal_rows_are_softmax_means(self):
+        q, k, v = _qkv(2, s=4)
+        o, cache = attention_forward_reference(q, k, v, causal=False)
+        probs = cache[3]
+        np.testing.assert_allclose(probs.sum(axis=-1), 1.0, rtol=1e-12)
+
+    def test_gradients_against_numerical(self):
+        q, k, v = _qkv(3, s=5, h=1, d=3)
+        do = rng(4).normal(size=q.shape)
+        o, cache = attention_forward_reference(q, k, v)
+        dq, dk, dv = attention_backward_reference(do, cache)
+
+        def loss_wrt(name):
+            def f(x):
+                args = {"q": q, "k": k, "v": v}
+                args[name] = x
+                out, _ = attention_forward_reference(args["q"], args["k"], args["v"])
+                return float((out * do).sum())
+            return f
+
+        np.testing.assert_allclose(dq, numerical_grad(loss_wrt("q"), q.copy()), rtol=1e-4, atol=1e-7)
+        np.testing.assert_allclose(dk, numerical_grad(loss_wrt("k"), k.copy()), rtol=1e-4, atol=1e-7)
+        np.testing.assert_allclose(dv, numerical_grad(loss_wrt("v"), v.copy()), rtol=1e-4, atol=1e-7)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            attention_forward_reference(np.zeros((2, 3, 4)), np.zeros((1, 2, 3, 4)), np.zeros((1, 2, 3, 4)))
+
+
+class TestOnlineForward:
+    @pytest.mark.parametrize("block_q,block_k", [(1, 1), (2, 3), (4, 4), (8, 2), (3, 8)])
+    def test_matches_reference_all_block_sizes(self, block_q, block_k):
+        q, k, v = _qkv(5, s=8)
+        o_ref, _ = attention_forward_reference(q, k, v)
+        o, _ = online_attention_forward(q, k, v, block_q=block_q, block_k=block_k)
+        np.testing.assert_allclose(o, o_ref, rtol=1e-10, atol=1e-12)
+
+    def test_noncausal_matches_reference(self):
+        q, k, v = _qkv(6, s=6, sk=10)
+        o_ref, _ = attention_forward_reference(q, k, v, causal=False)
+        o, _ = online_attention_forward(q, k, v, block_q=2, block_k=3, causal=False)
+        np.testing.assert_allclose(o, o_ref, rtol=1e-10, atol=1e-12)
+
+    def test_lse_matches_direct_computation(self):
+        q, k, v = _qkv(7, s=4, h=1)
+        _, lse = online_attention_forward(q, k, v, block_k=2)
+        scale = 1 / np.sqrt(q.shape[-1])
+        scores = np.einsum("bqhd,bkhd->bhqk", q, k) * scale
+        iq, ik = np.arange(4)[:, None], np.arange(4)[None, :]
+        scores = np.where(ik > iq, -np.inf, scores)
+        expected = np.log(np.exp(scores).sum(axis=-1))
+        np.testing.assert_allclose(lse, expected, rtol=1e-10)
+
+    def test_numerical_stability_large_scores(self):
+        q, k, v = _qkv(8, s=4)
+        o, _ = online_attention_forward(100.0 * q, 100.0 * k, v, block_k=2)
+        assert np.isfinite(o).all()
+
+    def test_update_rejects_above_diagonal_block(self):
+        q, k, v = _qkv(9, s=2)
+        state = OnlineSoftmaxState.zeros(1, 2, 2, 4)
+        with pytest.raises(ShapeError, match="k_offset"):
+            online_block_update(state, q, k, v, scale=0.5, q_offset=0, k_offset=2)
+
+    def test_finalize_empty_state_raises(self):
+        state = OnlineSoftmaxState.zeros(1, 2, 2, 4)
+        with pytest.raises(ShapeError):
+            finalize_online(state)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        s=st.integers(2, 12),
+        block_q=st.integers(1, 12),
+        block_k=st.integers(1, 12),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_blockwise_invariance(self, s, block_q, block_k, seed):
+        """Online attention equals reference for arbitrary sizes/blocks —
+        the invariant FPDT's chunked schedule rests on."""
+        q, k, v = _qkv(seed, s=s, h=1, d=4)
+        o_ref, _ = attention_forward_reference(q, k, v)
+        o, _ = online_attention_forward(q, k, v, block_q=block_q, block_k=block_k)
+        np.testing.assert_allclose(o, o_ref, rtol=1e-8, atol=1e-10)
+
+
+class TestOnlineBackward:
+    @pytest.mark.parametrize("block_q,block_k", [(8, 8), (2, 2), (4, 2), (2, 4), (3, 5)])
+    def test_matches_reference_backward(self, block_q, block_k):
+        q, k, v = _qkv(10, s=8)
+        do = rng(11).normal(size=q.shape)
+        o_ref, cache = attention_forward_reference(q, k, v)
+        dq_ref, dk_ref, dv_ref = attention_backward_reference(do, cache)
+        o, lse = online_attention_forward(q, k, v, block_q=block_q, block_k=block_k)
+        dq, dk, dv = online_attention_backward(
+            q, k, v, o, do, lse, block_q=block_q, block_k=block_k
+        )
+        np.testing.assert_allclose(dq, dq_ref, rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(dk, dk_ref, rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(dv, dv_ref, rtol=1e-8, atol=1e-10)
+
+    def test_noncausal_backward(self):
+        q, k, v = _qkv(12, s=4, sk=6)
+        do = rng(13).normal(size=q.shape)
+        o_ref, cache = attention_forward_reference(q, k, v, causal=False)
+        refs = attention_backward_reference(do, cache)
+        o, lse = online_attention_forward(q, k, v, block_q=2, block_k=2, causal=False)
+        outs = online_attention_backward(
+            q, k, v, o, do, lse, block_q=2, block_k=2, causal=False
+        )
+        for got, ref in zip(outs, refs):
+            np.testing.assert_allclose(got, ref, rtol=1e-8, atol=1e-10)
+
+    def test_block_backward_partials_sum_to_total(self):
+        """Summing per-(q,kv)-block partials reproduces full gradients —
+        the accumulation FPDT's nested loop performs."""
+        q, k, v = _qkv(14, s=6, h=1)
+        do = rng(15).normal(size=q.shape)
+        o, lse = online_attention_forward(q, k, v)
+        delta = compute_delta(o, do)
+        o_ref, cache = attention_forward_reference(q, k, v)
+        dq_ref, dk_ref, dv_ref = attention_backward_reference(do, cache)
+        scale = 1 / np.sqrt(q.shape[-1])
+        dq = np.zeros_like(q)
+        dk = np.zeros_like(k)
+        dv = np.zeros_like(v)
+        step = 2
+        for k0 in range(0, 6, step):
+            for q0 in range(k0, 6, step):
+                dq_p, dk_p, dv_p = attention_block_backward(
+                    q[:, q0:q0 + step], k[:, k0:k0 + step], v[:, k0:k0 + step],
+                    do[:, q0:q0 + step], lse[:, :, q0:q0 + step], delta[:, :, q0:q0 + step],
+                    scale=scale, q_offset=q0, k_offset=k0,
+                )
+                dq[:, q0:q0 + step] += dq_p
+                dk[:, k0:k0 + step] += dk_p
+                dv[:, k0:k0 + step] += dv_p
+        np.testing.assert_allclose(dq, dq_ref, rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(dk, dk_ref, rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(dv, dv_ref, rtol=1e-8, atol=1e-10)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        s=st.integers(2, 10),
+        block=st.integers(1, 10),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_backward_blockwise_invariance(self, s, block, seed):
+        q, k, v = _qkv(seed, s=s, h=1, d=4)
+        do = rng(seed + 1).normal(size=q.shape)
+        o_ref, cache = attention_forward_reference(q, k, v)
+        refs = attention_backward_reference(do, cache)
+        o, lse = online_attention_forward(q, k, v, block_q=block, block_k=block)
+        outs = online_attention_backward(q, k, v, o, do, lse, block_q=block, block_k=block)
+        for got, ref in zip(outs, refs):
+            np.testing.assert_allclose(got, ref, rtol=1e-7, atol=1e-9)
+
+
+class TestChunkOffsets:
+    def test_offset_blocks_reproduce_global_attention(self):
+        """Computing attention of global chunk m against chunks 0..m with
+        explicit offsets (the Fig. 5 schedule) equals slicing the global
+        result — the core FPDT correctness property at kernel level."""
+        b, s, h, d = 1, 12, 2, 4
+        chunk = 4
+        q, k, v = _qkv(20, s=s, h=h, d=d)
+        o_ref, _ = attention_forward_reference(q, k, v)
+        scale = 1 / np.sqrt(d)
+        for m in range(s // chunk):
+            q0 = m * chunk
+            state = OnlineSoftmaxState.zeros(b, chunk, h, d)
+            for j in range(m + 1):
+                k0 = j * chunk
+                online_block_update(
+                    state, q[:, q0:q0 + chunk], k[:, k0:k0 + chunk], v[:, k0:k0 + chunk],
+                    scale=scale, q_offset=q0, k_offset=k0,
+                )
+            o_chunk, _ = finalize_online(state)
+            np.testing.assert_allclose(o_chunk, o_ref[:, q0:q0 + chunk], rtol=1e-10, atol=1e-12)
+
+    def test_diagonal_chunk_is_masked_strictly(self):
+        """Within the diagonal chunk the mask must still apply element-wise."""
+        q, k, v = _qkv(21, s=4)
+        state = OnlineSoftmaxState.zeros(1, 4, 2, 4)
+        online_block_update(state, q, k, v, scale=0.5, q_offset=0, k_offset=0)
+        o, _ = finalize_online(state)
+        np.testing.assert_allclose(o[:, 0], v[:, 0], rtol=1e-12)

@@ -1,0 +1,223 @@
+"""Reference-model tests: block gradients vs numerical differentiation,
+config accounting, and end-to-end loss backprop for both architectures."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ShapeError
+from repro.models import (
+    GPT_2_7B,
+    GPT_13B,
+    LLAMA_8B,
+    LLAMA_70B,
+    GPTModel,
+    MODEL_ZOO,
+    ModelConfig,
+    TransformerBlock,
+    tiny_gpt,
+    tiny_llama,
+)
+
+from .helpers import numerical_grad, rng
+
+
+class TestModelConfig:
+    def test_zoo_contains_paper_models(self):
+        assert set(MODEL_ZOO) == {
+            "gpt-2.7b", "gpt-6.7b", "gpt-13b", "gpt-30b", "llama-8b", "llama-70b",
+        }
+
+    def test_param_counts_near_nominal(self):
+        """Each config's parameter count should be within ~15% of its name."""
+        nominal = {
+            "gpt-2.7b": 2.7e9, "gpt-6.7b": 6.7e9, "gpt-13b": 13e9,
+            "gpt-30b": 30e9, "llama-8b": 8e9, "llama-70b": 70e9,
+        }
+        for name, cfg in MODEL_ZOO.items():
+            ratio = cfg.num_params() / nominal[name]
+            assert 0.85 < ratio < 1.25, f"{name}: {cfg.num_params():.3e}"
+
+    def test_head_dim(self):
+        assert GPT_2_7B.head_dim == 80
+        assert LLAMA_8B.head_dim == 128
+
+    def test_gqa_geometry(self):
+        assert LLAMA_8B.gqa_group_size == 4
+        assert LLAMA_8B.kv_hidden_size == 1024
+        assert GPT_13B.gqa_group_size == 1
+
+    def test_invalid_arch_raises(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="x", arch="bert", hidden_size=8, num_layers=1,
+                num_heads=2, num_kv_heads=2, ffn_hidden_size=16, vocab_size=10,
+            )
+
+    def test_indivisible_heads_raise(self):
+        with pytest.raises(ValueError):
+            ModelConfig(
+                name="x", arch="gpt", hidden_size=10, num_layers=1,
+                num_heads=3, num_kv_heads=3, ffn_hidden_size=16, vocab_size=10,
+            )
+
+    def test_tiny_configs_valid(self):
+        assert tiny_gpt().arch == "gpt"
+        assert tiny_llama().uses_rope
+        assert tiny_llama().gqa_group_size == 2
+
+    def test_tiny_model_num_params_matches_config_formula(self):
+        for cfg in (tiny_gpt(), tiny_llama()):
+            model = GPTModel(cfg)
+            assert model.num_params() == cfg.num_params()
+
+
+@pytest.mark.parametrize("cfg_factory", [tiny_gpt, tiny_llama], ids=["gpt", "llama"])
+class TestTransformerBlock:
+    def test_forward_shape(self, cfg_factory):
+        cfg = cfg_factory()
+        block = TransformerBlock(cfg, rng(0))
+        x = rng(1).normal(size=(2, 6, cfg.hidden_size))
+        y = block.forward(x)
+        assert y.shape == x.shape
+
+    def test_causality_of_block(self, cfg_factory):
+        cfg = cfg_factory()
+        block = TransformerBlock(cfg, rng(0))
+        x = rng(1).normal(size=(1, 8, cfg.hidden_size))
+        y1 = block.forward(x)
+        x2 = x.copy()
+        x2[:, 6:] += 1.0
+        y2 = block.forward(x2)
+        np.testing.assert_allclose(y1[:, :6], y2[:, :6], rtol=1e-10)
+
+    def test_input_gradient_numerical(self, cfg_factory):
+        cfg = cfg_factory(hidden_size=16, num_heads=2)
+        block = TransformerBlock(cfg, rng(0))
+        x = rng(1).normal(size=(1, 4, 16))
+        dy = rng(2).normal(size=(1, 4, 16))
+        block.forward(x)
+        dx = block.backward(dy)
+
+        def f(x_):
+            return float((block.forward(x_) * dy).sum())
+
+        np.testing.assert_allclose(dx, numerical_grad(f, x.copy()), rtol=1e-4, atol=1e-6)
+
+    def test_weight_gradient_numerical(self, cfg_factory):
+        cfg = cfg_factory(hidden_size=8, num_heads=2)
+        block = TransformerBlock(cfg, rng(3))
+        x = rng(4).normal(size=(1, 3, 8))
+        dy = rng(5).normal(size=(1, 3, 8))
+        block.forward(x)
+        block.backward(dy)
+        name = "attn.wq"
+        analytic = block.grads[name]
+
+        def f(w):
+            block.params[name] = w
+            return float((block.forward(x) * dy).sum())
+
+        numeric = numerical_grad(f, block.params[name].copy())
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_backward_without_forward_raises(self, cfg_factory):
+        block = TransformerBlock(cfg_factory(), rng(0))
+        with pytest.raises(RuntimeError):
+            block.backward(np.zeros((1, 2, block.config.hidden_size)))
+
+    def test_bad_input_shape_raises(self, cfg_factory):
+        block = TransformerBlock(cfg_factory(), rng(0))
+        with pytest.raises(ShapeError):
+            block.forward(np.zeros((3, block.config.hidden_size)))
+
+
+@pytest.mark.parametrize("cfg_factory", [tiny_gpt, tiny_llama], ids=["gpt", "llama"])
+class TestGPTModel:
+    def test_loss_is_finite_and_near_uniform_at_init(self, cfg_factory):
+        cfg = cfg_factory()
+        model = GPTModel(cfg, seed=0)
+        g = rng(1)
+        tokens = g.integers(0, cfg.vocab_size, size=(2, 8))
+        labels = g.integers(0, cfg.vocab_size, size=(2, 8))
+        loss = model.forward_loss(tokens, labels)
+        assert np.isfinite(loss)
+        assert loss < 2.0 * np.log(cfg.vocab_size)
+
+    def test_backward_produces_grad_for_every_param(self, cfg_factory):
+        cfg = cfg_factory(num_layers=1)
+        model = GPTModel(cfg, seed=0)
+        g = rng(2)
+        tokens = g.integers(0, cfg.vocab_size, size=(1, 6))
+        labels = g.integers(0, cfg.vocab_size, size=(1, 6))
+        model.forward_loss(tokens, labels)
+        model.backward_loss()
+        params = model.all_params()
+        grads = model.all_grads()
+        assert set(grads) == set(params)
+        for name in params:
+            assert grads[name].shape == params[name].shape, name
+
+    def test_embedding_grad_numerical(self, cfg_factory):
+        cfg = cfg_factory(hidden_size=8, num_heads=2, num_layers=1, vocab_size=11)
+        model = GPTModel(cfg, seed=0)
+        g = rng(3)
+        tokens = g.integers(0, 11, size=(1, 4))
+        labels = g.integers(0, 11, size=(1, 4))
+        model.forward_loss(tokens, labels)
+        model.backward_loss()
+        analytic = model.grads["embed.table"]
+
+        def f(table):
+            model.params["embed.table"] = table
+            return model.forward_loss(tokens, labels)
+
+        numeric = numerical_grad(f, model.params["embed.table"].copy())
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-6)
+
+    def test_loss_chunks_do_not_change_loss_or_grads(self, cfg_factory):
+        cfg = cfg_factory(num_layers=1)
+        g = rng(4)
+        tokens = g.integers(0, cfg.vocab_size, size=(1, 8))
+        labels = g.integers(0, cfg.vocab_size, size=(1, 8))
+        m1 = GPTModel(cfg, seed=7, loss_chunks=1)
+        m2 = GPTModel(cfg, seed=7, loss_chunks=4)
+        l1 = m1.forward_loss(tokens, labels)
+        l2 = m2.forward_loss(tokens, labels)
+        assert l1 == pytest.approx(l2, rel=1e-12)
+        m1.backward_loss()
+        m2.backward_loss()
+        g1, g2 = m1.all_grads(), m2.all_grads()
+        for name in g1:
+            np.testing.assert_allclose(g2[name], g1[name], rtol=1e-9, atol=1e-11)
+
+    def test_set_param_roundtrip(self, cfg_factory):
+        model = GPTModel(cfg_factory(num_layers=2), seed=0)
+        new = np.zeros_like(model.blocks[1].params["attn.wq"])
+        model.set_param("blocks.1.attn.wq", new)
+        assert model.blocks[1].params["attn.wq"] is new
+        with pytest.raises(KeyError):
+            model.set_param("blocks.1.missing", new)
+        with pytest.raises(KeyError):
+            model.set_param("nope", new)
+
+    def test_bad_token_shape_raises(self, cfg_factory):
+        model = GPTModel(cfg_factory(), seed=0)
+        with pytest.raises(ShapeError):
+            model.forward_hidden(np.zeros(4, dtype=int))
+
+
+class TestGPTPositionTable:
+    def test_sequence_longer_than_table_raises(self):
+        cfg = tiny_gpt(max_position_embeddings=8)
+        model = GPTModel(cfg, seed=0)
+        tokens = np.zeros((1, 16), dtype=int)
+        with pytest.raises(ShapeError):
+            model.forward_hidden(tokens)
+
+    def test_positions_affect_gpt_output(self):
+        cfg = tiny_gpt()
+        model = GPTModel(cfg, seed=0)
+        tokens = rng(0).integers(0, cfg.vocab_size, size=(1, 4))
+        h1 = model.forward_hidden(tokens, positions=np.arange(4))
+        h2 = model.forward_hidden(tokens, positions=np.arange(10, 14))
+        assert not np.allclose(h1, h2)

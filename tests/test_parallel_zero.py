@@ -1,0 +1,159 @@
+"""ZeRO sharded optimizer: numerical equivalence with single-device Adam
+across stages, plus the model-state byte accounting used by the capacity
+experiments."""
+
+import numpy as np
+import pytest
+
+from repro.common.dtypes import DType
+from repro.parallel.zero import FlatParamSpace, ZeroAdam, zero_model_state_bytes
+from repro.runtime import VirtualCluster
+from repro.training.optimizer import Adam
+
+from .helpers import rng
+
+
+def _params(seed=0):
+    g = rng(seed)
+    return {
+        "w1": g.normal(size=(4, 6)),
+        "w2": g.normal(size=(3,)),
+        "embed": g.normal(size=(5, 2)),
+    }
+
+
+def _grad_like(params, seed):
+    g = rng(seed)
+    return {k: g.normal(size=v.shape) for k, v in params.items()}
+
+
+class TestFlatParamSpace:
+    def test_flatten_unflatten_roundtrip(self):
+        params = _params()
+        space = FlatParamSpace(params, world=4)
+        out = space.unflatten(space.flatten(params))
+        for k in params:
+            np.testing.assert_array_equal(out[k], params[k])
+
+    def test_padding_to_world_multiple(self):
+        params = _params()  # 24 + 3 + 10 = 37 elements
+        space = FlatParamSpace(params, world=4)
+        assert space.numel == 37
+        assert space.padded == 40
+        assert space.shard_size == 10
+
+    def test_shards_tile_the_vector(self):
+        params = _params()
+        space = FlatParamSpace(params, world=4)
+        flat = space.flatten(params)
+        rebuilt = np.concatenate([space.shard(flat, r) for r in range(4)])
+        np.testing.assert_array_equal(rebuilt, flat)
+
+    def test_deterministic_name_order(self):
+        params = _params()
+        s1 = FlatParamSpace(params, 2)
+        s2 = FlatParamSpace(dict(reversed(list(params.items()))), 2)
+        assert [e.name for e in s1.entries] == [e.name for e in s2.entries]
+
+    def test_bad_flat_shape_raises(self):
+        space = FlatParamSpace(_params(), 2)
+        with pytest.raises(ValueError):
+            space.unflatten(np.zeros(3))
+
+
+@pytest.mark.parametrize("stage", [1, 2, 3])
+class TestZeroAdamEquivalence:
+    def test_matches_plain_adam_sum_reduce(self, stage):
+        """Sequence-parallel semantics: per-rank partial grads sum to the
+        full gradient; ZeRO must match Adam fed that sum."""
+        world = 4
+        params = _params(0)
+        partials = [_grad_like(params, 10 + r) for r in range(world)]
+        total = {
+            k: np.sum([p[k] for p in partials], axis=0) for k in params
+        }
+        ref_opt = Adam(params, lr=1e-2)
+        ref1 = ref_opt.step(params, total)
+        ref2 = ref_opt.step(ref1, total)
+
+        cluster = VirtualCluster(world)
+        zopt = ZeroAdam(cluster, params, stage=stage, lr=1e-2, grad_reduce="sum")
+        new1 = zopt.step(partials)
+        new2 = zopt.step(partials)
+        for k in params:
+            np.testing.assert_allclose(new1[k], ref1[k], rtol=1e-12)
+            np.testing.assert_allclose(new2[k], ref2[k], rtol=1e-12)
+
+    def test_matches_plain_adam_mean_reduce(self, stage):
+        world = 2
+        params = _params(1)
+        partials = [_grad_like(params, 20 + r) for r in range(world)]
+        mean = {k: np.mean([p[k] for p in partials], axis=0) for k in params}
+        ref = Adam(params, lr=5e-3).step(params, mean)
+        cluster = VirtualCluster(world)
+        zopt = ZeroAdam(cluster, params, stage=stage, lr=5e-3, grad_reduce="mean")
+        new = zopt.step(partials)
+        for k in params:
+            np.testing.assert_allclose(new[k], ref[k], rtol=1e-12)
+
+    def test_collective_pattern_per_stage(self, stage):
+        world = 2
+        params = _params(2)
+        cluster = VirtualCluster(world)
+        zopt = ZeroAdam(cluster, params, stage=stage)
+        zopt.step([_grad_like(params, 1)] * world)
+        kinds = [e.label.split(":")[0] for e in cluster.trace.filter(kind="collective")]
+        if stage == 1:
+            assert "all_reduce" in kinds
+            assert "reduce_scatter" not in kinds
+        else:
+            assert "reduce_scatter" in kinds
+            assert "all_reduce" not in kinds
+        assert "all_gather" in kinds
+
+
+class TestZeroAdamValidation:
+    def test_bad_stage(self):
+        with pytest.raises(ValueError):
+            ZeroAdam(VirtualCluster(2), _params(), stage=4)
+
+    def test_bad_reduce(self):
+        with pytest.raises(ValueError):
+            ZeroAdam(VirtualCluster(2), _params(), grad_reduce="max")
+
+    def test_wrong_rank_count(self):
+        zopt = ZeroAdam(VirtualCluster(2), _params())
+        with pytest.raises(ValueError):
+            zopt.step([_grad_like(_params(), 0)])
+
+
+class TestModelStateBytes:
+    PSI = 8_000_000_000  # 8B params
+
+    def test_stage0_is_16_bytes_per_param(self):
+        assert zero_model_state_bytes(self.PSI, 8, 0) == 16 * self.PSI
+
+    def test_stage1_shards_optimizer(self):
+        got = zero_model_state_bytes(self.PSI, 8, 1)
+        assert got == (2 + 2) * self.PSI + 12 * self.PSI // 8
+
+    def test_stage2_shards_grads_too(self):
+        got = zero_model_state_bytes(self.PSI, 8, 2)
+        assert got == 2 * self.PSI + (2 + 12) * self.PSI // 8
+
+    def test_stage3_shards_everything(self):
+        assert zero_model_state_bytes(self.PSI, 8, 3) == 16 * self.PSI // 8
+
+    def test_monotone_in_stage(self):
+        sizes = [zero_model_state_bytes(self.PSI, 8, s) for s in range(4)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_paper_table3_zero_ordering(self):
+        """Table 3 shows HBM 58.9G (Z1) > 54.5G (Z2) > 52.3G (Z3) for
+        Llama-8B on 8 GPUs — the model-state part of that ordering."""
+        sizes = [zero_model_state_bytes(self.PSI, 8, s) for s in (1, 2, 3)]
+        assert sizes[0] > sizes[1] > sizes[2]
+
+    def test_invalid_stage_raises(self):
+        with pytest.raises(ValueError):
+            zero_model_state_bytes(10, 2, 5)

@@ -1,0 +1,109 @@
+"""ZeRO-3 parameter store: gather/release lifecycle with byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ShapeError
+from repro.parallel import Zero3ParamStore, gathered_params
+from repro.runtime import VirtualCluster
+
+from .helpers import rng
+
+
+def _params(seed=0):
+    g = rng(seed)
+    return {
+        "blocks.0.attn.wq": g.normal(size=(8, 8)),
+        "blocks.0.ffn.w1": g.normal(size=(8, 16)),
+        "blocks.1.attn.wq": g.normal(size=(8, 8)),
+        "embed.table": g.normal(size=(20, 8)),
+    }
+
+
+class TestZero3ParamStore:
+    def test_gather_reconstructs_values(self):
+        params = _params()
+        cluster = VirtualCluster(4)
+        store = Zero3ParamStore(cluster, params)
+        gathered = store.gather("blocks.0.")
+        np.testing.assert_allclose(gathered["blocks.0.attn.wq"], params["blocks.0.attn.wq"])
+        np.testing.assert_allclose(gathered["blocks.0.ffn.w1"], params["blocks.0.ffn.w1"])
+        store.release("blocks.0.")
+
+    def test_resting_state_is_sharded(self):
+        """At rest each rank holds ~1/P of the parameter bytes."""
+        params = _params()
+        cluster = VirtualCluster(4)
+        store = Zero3ParamStore(cluster, params)
+        total = sum(v.size for v in params.values()) * 2  # bf16 accounting
+        for rank in range(4):
+            assert store.shard_bytes(rank) == pytest.approx(total / 4, rel=0.1)
+
+    def test_gather_charges_every_rank(self):
+        params = _params()
+        cluster = VirtualCluster(4)
+        store = Zero3ParamStore(cluster, params)
+        before = cluster.devices[0].hbm.in_use
+        store.gather("blocks.1.")
+        layer_bytes = params["blocks.1.attn.wq"].size * 2
+        for dev in cluster.devices:
+            assert dev.hbm.in_use == before + layer_bytes
+        store.release("blocks.1.")
+        assert cluster.devices[0].hbm.in_use == before
+
+    def test_double_gather_raises(self):
+        store = Zero3ParamStore(VirtualCluster(2), _params())
+        store.gather("embed.")
+        with pytest.raises(ShapeError, match="already gathered"):
+            store.gather("embed.")
+        store.release("embed.")
+
+    def test_release_without_gather_raises(self):
+        store = Zero3ParamStore(VirtualCluster(2), _params())
+        with pytest.raises(KeyError):
+            store.release("blocks.0.")
+
+    def test_unknown_prefix_raises(self):
+        store = Zero3ParamStore(VirtualCluster(2), _params())
+        with pytest.raises(KeyError):
+            store.gather("decoder.")
+
+    def test_update_roundtrip(self):
+        params = _params()
+        cluster = VirtualCluster(4)
+        store = Zero3ParamStore(cluster, params)
+        new = np.full_like(params["blocks.0.attn.wq"], 3.5)
+        store.update("blocks.0.attn.wq", new)
+        gathered = store.gather("blocks.0.attn.wq")
+        np.testing.assert_allclose(gathered["blocks.0.attn.wq"], new)
+        store.release("blocks.0.attn.wq")
+
+    def test_update_shape_check(self):
+        store = Zero3ParamStore(VirtualCluster(2), _params())
+        with pytest.raises(ShapeError):
+            store.update("embed.table", np.zeros((3, 3)))
+
+    def test_context_manager_releases_on_exception(self):
+        params = _params()
+        cluster = VirtualCluster(2)
+        store = Zero3ParamStore(cluster, params)
+        baseline = cluster.devices[0].hbm.in_use
+        with pytest.raises(RuntimeError):
+            with gathered_params(store, "blocks.0."):
+                raise RuntimeError("OOM mid-layer")
+        assert cluster.devices[0].hbm.in_use == baseline
+
+    def test_free_releases_all(self):
+        cluster = VirtualCluster(2)
+        store = Zero3ParamStore(cluster, _params())
+        store.gather("embed.")
+        store.free()
+        cluster.check_no_leaks()
+
+    def test_gather_traffic_recorded(self):
+        cluster = VirtualCluster(4)
+        store = Zero3ParamStore(cluster, _params())
+        store.gather("blocks.0.")
+        events = cluster.trace.filter(kind="collective", label_prefix="all_gather:zero.param")
+        assert len(events) == 2  # wq + w1
+        store.release("blocks.0.")

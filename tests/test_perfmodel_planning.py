@@ -1,0 +1,53 @@
+"""Training-plan arithmetic."""
+
+import pytest
+
+from repro.common.units import parse_tokens
+from repro.hardware import paper_node_a100_40g, paper_node_a100_80g
+from repro.models import LLAMA_8B, LLAMA_70B
+from repro.perfmodel import FPDT_FULL, ULYSSES
+from repro.perfmodel.planning import plan_training
+
+NODE = paper_node_a100_80g()
+
+
+class TestPlanTraining:
+    def test_basic_consistency(self):
+        plan = plan_training(LLAMA_8B, FPDT_FULL, parse_tokens("1M"), 8, NODE)
+        assert plan is not None
+        assert plan.tokens_per_step == parse_tokens("1M")
+        assert plan.tokens_per_second == pytest.approx(
+            plan.tokens_per_step / plan.step_time
+        )
+        assert plan.tokens_per_day == pytest.approx(plan.tokens_per_second * 86400)
+
+    def test_gpu_hours_scale_with_world(self):
+        p8 = plan_training(LLAMA_8B, FPDT_FULL, parse_tokens("512K"), 8, NODE)
+        p16 = plan_training(LLAMA_8B, FPDT_FULL, parse_tokens("512K"), 16, NODE)
+        # GPU-hours per token is roughly scale-invariant (efficiency holds).
+        assert p16.gpu_hours_per_billion_tokens == pytest.approx(
+            p8.gpu_hours_per_billion_tokens, rel=0.3
+        )
+
+    def test_days_to_target(self):
+        plan = plan_training(LLAMA_8B, FPDT_FULL, parse_tokens("1M"), 8, NODE)
+        days = plan.days_to_tokens(1e12)
+        assert days == pytest.approx(1e12 / plan.tokens_per_day)
+        with pytest.raises(ValueError):
+            plan.days_to_tokens(0)
+
+    def test_infeasible_returns_none(self):
+        assert plan_training(LLAMA_70B, ULYSSES, parse_tokens("1M"), 4, paper_node_a100_40g()) is None
+
+    def test_fpdt_cheaper_than_ulysses_at_long_context(self):
+        """The MFU advantage translates into fewer GPU-hours per token."""
+        s = parse_tokens("512K")
+        p_fp = plan_training(LLAMA_8B, FPDT_FULL, s, 8, NODE)
+        p_ul = plan_training(LLAMA_8B, ULYSSES, s, 8, NODE)
+        assert p_fp.gpu_hours_per_billion_tokens < p_ul.gpu_hours_per_billion_tokens
+
+    def test_magnitudes_sane(self):
+        """~8B model on 8 A100s: hundreds to a few thousand GPU-hours per
+        billion tokens at multi-100K context (attention-dominated)."""
+        plan = plan_training(LLAMA_8B, FPDT_FULL, parse_tokens("1M"), 8, NODE)
+        assert 50 < plan.gpu_hours_per_billion_tokens < 10_000

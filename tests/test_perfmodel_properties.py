@@ -1,0 +1,115 @@
+"""Property-based tests on the performance model: monotonicity and
+consistency laws that must hold for any configuration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.units import K_TOKENS, parse_tokens
+from repro.hardware import make_cluster, paper_node_a100_80g
+from repro.models import GPT_2_7B, LLAMA_8B, MODEL_ZOO
+from repro.perfmodel import (
+    FPDT_FULL,
+    ULYSSES,
+    estimate_memory,
+    simulate_fpdt_layer,
+    simulate_step_time,
+)
+from repro.perfmodel.pipeline_sim import StreamSimulator, Task
+
+NODE = paper_node_a100_80g()
+
+seq_lengths = st.integers(1, 32).map(lambda n: n * 32 * K_TOKENS)
+worlds = st.sampled_from([2, 4, 8, 16])
+models = st.sampled_from(sorted(MODEL_ZOO))
+
+
+class TestMemoryModelProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(s=seq_lengths, world=worlds, name=models)
+    def test_activations_monotone_in_sequence(self, s, world, name):
+        cfg = MODEL_ZOO[name]
+        m1 = estimate_memory(cfg, FPDT_FULL, s, world)
+        m2 = estimate_memory(cfg, FPDT_FULL, 2 * s, world)
+        assert m2.activations >= m1.activations
+
+    @settings(max_examples=25, deadline=None)
+    @given(s=seq_lengths, name=models)
+    def test_model_states_monotone_in_world(self, s, name):
+        cfg = MODEL_ZOO[name]
+        m4 = estimate_memory(cfg, FPDT_FULL, s * 2, 4)
+        m8 = estimate_memory(cfg, FPDT_FULL, s * 2, 8)
+        assert m8.model_states <= m4.model_states
+
+    @settings(max_examples=20, deadline=None)
+    @given(s=seq_lengths, world=worlds)
+    def test_components_nonnegative(self, s, world):
+        for strat in (FPDT_FULL, ULYSSES):
+            m = estimate_memory(LLAMA_8B, strat, s, world)
+            assert m.model_states >= 0
+            assert m.checkpoints >= 0
+            assert m.working_set >= 0
+            assert m.loss_head >= 0
+            assert m.device_total >= m.model_states
+
+    @settings(max_examples=15, deadline=None)
+    @given(s=seq_lengths)
+    def test_fpdt_activations_never_exceed_ulysses(self, s):
+        """FPDT is Ulysses plus chunking: its sequence-dependent memory
+        can only be smaller."""
+        m_fp = estimate_memory(LLAMA_8B, FPDT_FULL, s, 8)
+        m_ul = estimate_memory(LLAMA_8B, ULYSSES, s, 8)
+        assert m_fp.activations <= m_ul.activations
+
+
+class TestStepTimeProperties:
+    @settings(max_examples=10, deadline=None)
+    @given(s=st.sampled_from([parse_tokens(x) for x in ("128K", "256K", "512K")]))
+    def test_step_time_positive_and_monotone(self, s):
+        t1 = simulate_step_time(LLAMA_8B, FPDT_FULL, s, 8, NODE)
+        t2 = simulate_step_time(LLAMA_8B, FPDT_FULL, 2 * s, 8, NODE)
+        assert 0 < t1 < t2
+
+    def test_more_gpus_faster_per_step(self):
+        s = parse_tokens("512K")
+        t4 = simulate_step_time(GPT_2_7B, FPDT_FULL, s, 4, NODE)
+        t8 = simulate_step_time(GPT_2_7B, FPDT_FULL, s, 8, NODE)
+        assert t8 < t4
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        durations=st.lists(st.floats(0.001, 10.0), min_size=1, max_size=12),
+        n_resources=st.integers(1, 3),
+    )
+    def test_makespan_bounds(self, durations, n_resources):
+        """Makespan >= max per-resource busy time (resource bound) and
+        <= total serial time (no time travel)."""
+        tasks = [
+            Task(f"t{i}", f"r{i % n_resources}", d)
+            for i, d in enumerate(durations)
+        ]
+        res = StreamSimulator().run(tasks)
+        assert res.makespan <= sum(durations) + 1e-9
+        for resource, busy in res.busy.items():
+            assert res.makespan >= busy - 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(durations=st.lists(st.floats(0.001, 5.0), min_size=2, max_size=8))
+    def test_chain_makespan_is_sum(self, durations):
+        """A dependency chain across distinct resources serializes."""
+        tasks = [
+            Task(f"t{i}", f"r{i}", d, (f"t{i-1}",) if i else ())
+            for i, d in enumerate(durations)
+        ]
+        res = StreamSimulator().run(tasks)
+        assert res.makespan == pytest.approx(sum(durations))
+
+    @settings(max_examples=8, deadline=None)
+    @given(chunk=st.sampled_from([parse_tokens(c) for c in ("16K", "32K", "64K")]))
+    def test_fpdt_pipeline_dominates_compute_bound(self, chunk):
+        """The pipeline can never beat its own compute content."""
+        cluster = make_cluster(NODE, 4)
+        res = simulate_fpdt_layer(LLAMA_8B, cluster, parse_tokens("256K"), chunk)
+        assert res.makespan >= res.busy.get("compute", 0.0) - 1e-9

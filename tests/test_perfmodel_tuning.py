@@ -1,0 +1,70 @@
+"""Auto-tuner tests: chunk-size suggestion and strategy selection."""
+
+import pytest
+
+from repro.common.units import parse_tokens
+from repro.hardware import paper_node_a100_40g, paper_node_a100_80g
+from repro.models import GPT_2_7B, LLAMA_8B, LLAMA_70B
+from repro.perfmodel import autotune_strategy, suggest_chunk_tokens
+
+NODE80 = paper_node_a100_80g()
+NODE40 = paper_node_a100_40g()
+
+
+class TestSuggestChunkTokens:
+    def test_sweet_spot_in_paper_window(self):
+        """§5.3: the tuned chunk lands on the MFU plateau above the
+        starving knee — 16K-128K around the paper's 64K default."""
+        choice = suggest_chunk_tokens(LLAMA_8B, 4, parse_tokens("512K"), NODE80)
+        assert choice is not None
+        assert parse_tokens("16K") <= choice.chunk_tokens <= parse_tokens("128K")
+        assert choice.mfu > 0.5
+
+    def test_rejects_starving_chunks(self):
+        """8K chunks are below the fetch/compute crossover: the tuner
+        must not pick them (Fig. 8)."""
+        choice = suggest_chunk_tokens(LLAMA_8B, 4, parse_tokens("512K"), NODE80)
+        assert choice.chunk_tokens > parse_tokens("8K")
+        small = choice.swept[parse_tokens("8K")]
+        assert small.mfu < choice.mfu - 0.005
+
+    def test_prefers_smallest_chunk_on_plateau(self):
+        """Fig. 9: extra chunk length past the knee only costs HBM."""
+        choice = suggest_chunk_tokens(LLAMA_8B, 4, parse_tokens("512K"), NODE80)
+        for chunk, metrics in choice.swept.items():
+            if metrics.fits and chunk < choice.chunk_tokens:
+                assert metrics.mfu < choice.mfu - 0.005
+        assert choice.metrics.memory.working_set <= min(
+            m.memory.working_set
+            for c, m in choice.swept.items()
+            if m.fits and m.mfu >= choice.mfu - 0.005
+        )
+
+    def test_candidates_larger_than_sequence_skipped(self):
+        choice = suggest_chunk_tokens(GPT_2_7B, 4, parse_tokens("32K"), NODE40)
+        assert choice is not None
+        assert choice.chunk_tokens <= parse_tokens("32K")
+
+    def test_infeasible_returns_none(self):
+        # 70B on 4x40G: model states cannot fit at any chunk size.
+        assert suggest_chunk_tokens(LLAMA_70B, 4, parse_tokens("256K"), NODE40) is None
+
+    def test_sweep_records_all_candidates(self):
+        choice = suggest_chunk_tokens(GPT_2_7B, 4, parse_tokens("256K"), NODE40)
+        assert len(choice.swept) >= 5
+
+
+class TestAutotuneStrategy:
+    def test_picks_fpdt_at_long_context(self):
+        best = autotune_strategy(LLAMA_8B, 8, parse_tokens("1M"), NODE80)
+        assert best is not None
+        assert best.strategy.is_fpdt
+        assert best.metrics.mfu > 0.5
+
+    def test_returns_feasible_option_at_short_context(self):
+        best = autotune_strategy(GPT_2_7B, 4, parse_tokens("64K"), NODE40)
+        assert best is not None
+        assert best.metrics.fits
+
+    def test_nothing_fits_returns_none(self):
+        assert autotune_strategy(LLAMA_70B, 4, parse_tokens("1M"), NODE40) is None

@@ -1,0 +1,130 @@
+"""bf16 emulation, loss scaling, and mixed-precision training."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.precision import LossScaler, bf16_ulp, quantize_bf16
+from repro.core import FPDTModelRunner
+from repro.models import GPTModel, tiny_gpt
+from repro.runtime import VirtualCluster
+from repro.training import SyntheticCorpus
+from repro.training.mixed_precision import MixedPrecisionTrainer
+
+
+class TestQuantizeBf16:
+    def test_exact_values_unchanged(self):
+        # Powers of two and small integers are exactly representable.
+        x = np.array([1.0, 2.0, -4.0, 0.5, 0.0, 136.0])
+        np.testing.assert_array_equal(quantize_bf16(x), x)
+
+    def test_mantissa_truncated_to_8_bits(self):
+        # 1 + 2^-9 is between bf16 neighbors 1.0 and 1+2^-7; rounds to 1.
+        assert quantize_bf16(np.array([1.0 + 2.0**-9]))[0] == 1.0
+
+    def test_round_to_nearest_even(self):
+        # Exactly halfway: 1 + 2^-8 sits between 1.0 and 1 + 2^-7.
+        # Nearest-even keeps the even mantissa (1.0).
+        assert quantize_bf16(np.array([1.0 + 2.0**-8]))[0] == 1.0
+        # Just above halfway rounds up.
+        assert quantize_bf16(np.array([1.0 + 2.0**-8 + 2.0**-12]))[0] == 1.0 + 2.0**-7
+
+    def test_relative_error_bounded_by_ulp(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=1000) * 10.0 ** rng.integers(-10, 10, size=1000)
+        q = quantize_bf16(x)
+        err = np.abs(q - x)
+        bound = np.array([bf16_ulp(float(v)) for v in x])
+        assert (err <= bound + 1e-45).all()
+
+    def test_nan_and_inf_preserved(self):
+        x = np.array([np.nan, np.inf, -np.inf])
+        q = quantize_bf16(x)
+        assert np.isnan(q[0])
+        assert q[1] == np.inf and q[2] == -np.inf
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=100)
+        once = quantize_bf16(x)
+        np.testing.assert_array_equal(quantize_bf16(once), once)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(-1e30, 1e30, allow_nan=False))
+    def test_property_monotone(self, x):
+        """Quantization preserves ordering against its neighbors."""
+        q = float(quantize_bf16(np.array([x]))[0])
+        assert abs(q - x) <= bf16_ulp(x) + 1e-45
+
+
+class TestLossScaler:
+    def test_unscale_divides_by_scale(self):
+        scaler = LossScaler(init_scale=8.0)
+        out = scaler.check_and_unscale({"g": np.array([16.0])})
+        np.testing.assert_array_equal(out["g"], [2.0])
+
+    def test_overflow_skips_and_backs_off(self):
+        scaler = LossScaler(init_scale=8.0)
+        out = scaler.check_and_unscale({"g": np.array([np.inf])})
+        assert out is None
+        assert scaler.scale == 4.0
+        assert scaler.steps_skipped == 1
+
+    def test_growth_after_interval(self):
+        scaler = LossScaler(init_scale=2.0, growth_interval=3)
+        for _ in range(3):
+            scaler.check_and_unscale({"g": np.ones(1)})
+        assert scaler.scale == 4.0
+
+    def test_scale_floor(self):
+        scaler = LossScaler(init_scale=2.0, min_scale=1.0)
+        for _ in range(5):
+            scaler.check_and_unscale({"g": np.array([np.nan])})
+        assert scaler.scale == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossScaler(init_scale=0.0)
+
+
+class TestMixedPrecisionTraining:
+    def _setup(self, seed=0):
+        cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1, vocab_size=32)
+        model = GPTModel(cfg, seed=seed)
+        corpus = SyntheticCorpus(32, branching=2, seed=seed)
+        return cfg, model, corpus
+
+    def test_converges_under_bf16(self):
+        _, model, corpus = self._setup()
+        trainer = MixedPrecisionTrainer(model, corpus, lr=5e-3)
+        result = trainer.train(60, batch_size=4, seq_len=16)
+        assert result.final_loss() < np.mean(result.losses[:5]) * 0.8
+
+    def test_fpdt_equals_baseline_under_bf16(self):
+        """The Fig.-14 equivalence holds in the realistic precision
+        regime too: identical bf16 weights -> identical curves."""
+        curves = {}
+        for mode in ("baseline", "fpdt"):
+            cfg, model, corpus = self._setup(seed=7)
+            runner = None
+            if mode == "fpdt":
+                runner = FPDTModelRunner(
+                    model, VirtualCluster(4), num_chunks=2, loss_chunks=2
+                )
+            trainer = MixedPrecisionTrainer(model, corpus, runner=runner, lr=5e-3)
+            curves[mode] = trainer.train(10, batch_size=2, seq_len=16).losses
+        np.testing.assert_allclose(curves["fpdt"], curves["baseline"], rtol=1e-8)
+
+    def test_masters_stay_full_precision(self):
+        """The working weights sit on the bf16 grid; the masters do not
+        (they accumulate sub-ulp updates)."""
+        _, model, corpus = self._setup(seed=2)
+        trainer = MixedPrecisionTrainer(model, corpus, lr=1e-3)
+        trainer.train(3, batch_size=2, seq_len=8)
+        working = model.all_params()["blocks.0.attn.wq"]
+        np.testing.assert_array_equal(
+            working, quantize_bf16(working).astype(float)
+        )
+        master = trainer.master["blocks.0.attn.wq"]
+        assert not np.array_equal(master, quantize_bf16(master).astype(float))

@@ -1,0 +1,47 @@
+"""JSON export of experiment results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import ExperimentResult, save_json
+
+
+class TestSaveJson:
+    def _result(self):
+        r = ExperimentResult("Table X", "demo", columns=["a", "b"])
+        r.add_row("1", "2")
+        r.note("a note")
+        r.data["array"] = np.arange(3)
+        r.data["scalar"] = np.float64(1.5)
+        r.data["tuple_key"] = {(1, 2): "v"}
+        r.data["nested"] = {"xs": [np.int64(7), None, True]}
+        return r
+
+    def test_roundtrip_readable(self, tmp_path):
+        path = save_json(self._result(), tmp_path)
+        payload = json.loads(path.read_text())
+        assert payload["experiment"] == "Table X"
+        assert payload["rows"] == [["1", "2"]]
+        assert payload["data"]["array"] == [0, 1, 2]
+        assert payload["data"]["scalar"] == 1.5
+        assert payload["data"]["tuple_key"] == {"(1, 2)": "v"}
+        assert payload["data"]["nested"]["xs"] == [7, None, True]
+
+    def test_filename_slug(self, tmp_path):
+        path = save_json(self._result(), tmp_path)
+        assert path.name == "tablex.json"
+
+    def test_directory_created(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        path = save_json(self._result(), nested)
+        assert path.exists()
+
+    def test_cli_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "table2", "--fast", "--json", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "data written" in out
+        assert (tmp_path / "table2.json").exists()

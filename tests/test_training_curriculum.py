@@ -1,0 +1,67 @@
+"""Length-curriculum schedule and trainer integration."""
+
+import numpy as np
+import pytest
+
+from repro.core import FPDTModelRunner
+from repro.models import GPTModel, tiny_gpt
+from repro.runtime import VirtualCluster
+from repro.training import SyntheticCorpus
+from repro.training.curriculum import LengthCurriculum, curriculum_train
+from repro.training.trainer import Trainer
+
+
+class TestLengthCurriculum:
+    def test_doubling_ladder(self):
+        cur = LengthCurriculum(start_len=8, target_len=64, steps_per_stage=3)
+        lengths = [cur.length_at(s) for s in range(12)]
+        assert lengths == [8, 8, 8, 16, 16, 16, 32, 32, 32, 64, 64, 64]
+
+    def test_caps_at_target(self):
+        cur = LengthCurriculum(start_len=8, target_len=32, steps_per_stage=1)
+        assert cur.length_at(100) == 32
+
+    def test_stage_accounting(self):
+        cur = LengthCurriculum(start_len=8, target_len=64, steps_per_stage=5)
+        assert cur.num_stages == 4
+        assert cur.total_warmup_steps() == 15
+        assert cur.length_at(cur.total_warmup_steps()) == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LengthCurriculum(start_len=0, target_len=8, steps_per_stage=1)
+        with pytest.raises(ValueError):
+            LengthCurriculum(start_len=16, target_len=8, steps_per_stage=1)
+        with pytest.raises(ValueError):
+            LengthCurriculum(start_len=8, target_len=24, steps_per_stage=1)  # not 2^k
+        with pytest.raises(ValueError):
+            LengthCurriculum(start_len=8, target_len=16, steps_per_stage=0)
+        cur = LengthCurriculum(start_len=8, target_len=16, steps_per_stage=1)
+        with pytest.raises(ValueError):
+            cur.length_at(-1)
+
+    def test_degenerate_constant(self):
+        cur = LengthCurriculum(start_len=16, target_len=16, steps_per_stage=4)
+        assert cur.num_stages == 1
+        assert cur.total_warmup_steps() == 0
+        assert cur.length_at(0) == cur.length_at(99) == 16
+
+
+class TestCurriculumTraining:
+    def test_fpdt_trainer_through_curriculum(self):
+        """FPDT handles the growing sequence (chunk count grows with it)
+        and the loss still falls."""
+        cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1, vocab_size=32)
+        model = GPTModel(cfg, seed=1)
+        corpus = SyntheticCorpus(32, branching=2, seed=1)
+        runner = FPDTModelRunner(
+            model, VirtualCluster(4), num_chunks=2, loss_chunks=2
+        )
+        trainer = Trainer(model, corpus, runner=runner, lr=5e-3)
+        cur = LengthCurriculum(start_len=8, target_len=32, steps_per_stage=10)
+        result = curriculum_train(trainer, cur, 40, batch_size=2)
+        assert len(result.losses) == 40
+        assert np.mean(result.losses[-5:]) < np.mean(result.losses[:5])
+        # tokens_seen reflects the growing lengths, not a constant.
+        assert result.tokens_seen > 40 * 2 * 8
+        assert result.tokens_seen < 40 * 2 * 32

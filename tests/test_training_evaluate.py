@@ -1,0 +1,59 @@
+"""Evaluation utilities: perplexity math and runner agreement."""
+
+import numpy as np
+import pytest
+
+from repro.core import FPDTModelRunner
+from repro.models import GPTModel, tiny_gpt
+from repro.runtime import VirtualCluster
+from repro.training import SyntheticCorpus
+from repro.training.evaluate import evaluate_perplexity
+from repro.training.trainer import Trainer
+
+
+class TestEvaluate:
+    def _setup(self, seed=0):
+        cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1, vocab_size=32)
+        return GPTModel(cfg, seed=seed), SyntheticCorpus(32, branching=2, seed=seed)
+
+    def test_perplexity_is_exp_loss(self):
+        model, corpus = self._setup()
+        result = evaluate_perplexity(model, corpus, n_batches=2, seq_len=16)
+        assert result.perplexity == pytest.approx(np.exp(result.mean_loss))
+        assert result.n_tokens == 2 * 2 * 16
+
+    def test_untrained_model_near_uniform(self):
+        model, corpus = self._setup()
+        result = evaluate_perplexity(model, corpus, n_batches=2, seq_len=16)
+        assert result.perplexity < 2 * 32  # near vocab-size perplexity
+
+    def test_bits_per_token(self):
+        model, corpus = self._setup()
+        result = evaluate_perplexity(model, corpus, n_batches=1, seq_len=8)
+        assert result.bits_per_token() == pytest.approx(result.mean_loss / np.log(2))
+
+    def test_reference_and_fpdt_agree(self):
+        model, corpus = self._setup(seed=3)
+        eval_corpus = lambda: SyntheticCorpus(32, branching=2, seed=99)
+        ref = evaluate_perplexity(model, eval_corpus(), n_batches=2, seq_len=16)
+        runner = FPDTModelRunner(
+            model, VirtualCluster(4), num_chunks=2, loss_chunks=2
+        )
+        dist = evaluate_perplexity(
+            model, eval_corpus(), runner=runner, n_batches=2, seq_len=16
+        )
+        assert dist.mean_loss == pytest.approx(ref.mean_loss, rel=1e-10)
+
+    def test_training_improves_perplexity(self):
+        model, corpus = self._setup(seed=5)
+        # Same transition kernel (seed) as training, fresh sample stream.
+        held_out = lambda: SyntheticCorpus(32, branching=2, seed=5)
+        before = evaluate_perplexity(model, held_out(), n_batches=3, seq_len=16)
+        Trainer(model, corpus, lr=5e-3).train(60, batch_size=4, seq_len=16)
+        after = evaluate_perplexity(model, held_out(), n_batches=3, seq_len=16)
+        assert after.perplexity < before.perplexity * 0.8
+
+    def test_validation(self):
+        model, corpus = self._setup()
+        with pytest.raises(ValueError):
+            evaluate_perplexity(model, corpus, n_batches=0)

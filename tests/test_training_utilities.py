@@ -1,0 +1,162 @@
+"""Serialization, LR schedules and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.models import GPTModel, tiny_gpt, tiny_llama
+from repro.training import (
+    Adam,
+    SyntheticCorpus,
+    clip_grad_norm,
+    global_grad_norm,
+    load_checkpoint,
+    save_checkpoint,
+    warmup_cosine_lr,
+)
+from repro.training.trainer import Trainer
+
+from .helpers import rng
+
+
+class TestSchedule:
+    def test_warmup_ramps_linearly(self):
+        kw = dict(base_lr=1.0, warmup_steps=10, total_steps=100)
+        lrs = [warmup_cosine_lr(s, **kw) for s in range(10)]
+        np.testing.assert_allclose(lrs, (np.arange(10) + 1) / 10)
+
+    def test_cosine_decays_to_floor(self):
+        kw = dict(base_lr=1.0, warmup_steps=10, total_steps=100, min_lr_fraction=0.1)
+        assert warmup_cosine_lr(99, **kw) == pytest.approx(0.1, abs=0.01)
+        assert warmup_cosine_lr(10, **kw) == pytest.approx(1.0)
+
+    def test_monotone_decay_after_warmup(self):
+        kw = dict(base_lr=3e-4, warmup_steps=5, total_steps=50)
+        lrs = [warmup_cosine_lr(s, **kw) for s in range(5, 50)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_past_total_steps_stays_at_floor(self):
+        kw = dict(base_lr=1.0, warmup_steps=2, total_steps=10, min_lr_fraction=0.2)
+        assert warmup_cosine_lr(500, **kw) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            warmup_cosine_lr(0, base_lr=1.0, warmup_steps=10, total_steps=5)
+        with pytest.raises(ValueError):
+            warmup_cosine_lr(0, base_lr=1.0, warmup_steps=0, total_steps=0)
+
+
+class TestClipping:
+    def test_norm_computation(self):
+        grads = {"a": np.array([3.0]), "b": np.array([4.0])}
+        assert global_grad_norm(grads) == pytest.approx(5.0)
+
+    def test_no_clip_below_threshold(self):
+        grads = {"a": np.array([0.3, 0.4])}
+        clipped, norm = clip_grad_norm(grads, 1.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_array_equal(clipped["a"], grads["a"])
+
+    def test_clip_rescales_to_max_norm(self):
+        grads = {"a": np.array([30.0]), "b": np.array([40.0])}
+        clipped, norm = clip_grad_norm(grads, 5.0)
+        assert norm == pytest.approx(50.0)
+        assert global_grad_norm(clipped) == pytest.approx(5.0)
+        # Direction preserved.
+        assert clipped["a"][0] / clipped["b"][0] == pytest.approx(0.75)
+
+    def test_zero_grads_pass_through(self):
+        grads = {"a": np.zeros(3)}
+        clipped, norm = clip_grad_norm(grads, 1.0)
+        assert norm == 0.0
+        np.testing.assert_array_equal(clipped["a"], np.zeros(3))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm({"a": np.ones(2)}, 0.0)
+
+    def test_trainer_with_clip_and_schedule_converges(self):
+        cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1, vocab_size=32)
+        model = GPTModel(cfg, seed=0)
+        corpus = SyntheticCorpus(32, branching=2, seed=0)
+        schedule = lambda step: warmup_cosine_lr(
+            step, base_lr=5e-3, warmup_steps=5, total_steps=60
+        )
+        trainer = Trainer(model, corpus, lr=5e-3, grad_clip=1.0, lr_schedule=schedule)
+        result = trainer.train(60, batch_size=4, seq_len=16)
+        assert result.final_loss() < np.mean(result.losses[:5]) * 0.8
+
+
+class TestSerialization:
+    def _train_briefly(self, cfg, seed=0, steps=3):
+        model = GPTModel(cfg, seed=seed)
+        corpus = SyntheticCorpus(cfg.vocab_size, branching=2, seed=seed)
+        trainer = Trainer(model, corpus, lr=1e-3)
+        trainer.train(steps, batch_size=2, seq_len=8)
+        return model, trainer
+
+    def test_roundtrip_params(self, tmp_path):
+        cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1, vocab_size=32)
+        model, trainer = self._train_briefly(cfg)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, optimizer=trainer.optimizer, step=3)
+
+        restored = GPTModel(cfg, seed=999)  # different init
+        opt = Adam(restored.all_params(), lr=1e-3)
+        step = load_checkpoint(path, restored, optimizer=opt)
+        assert step == 3
+        assert opt.t == trainer.optimizer.t
+        for name, value in model.all_params().items():
+            np.testing.assert_array_equal(restored.all_params()[name], value)
+
+    def test_resumed_training_matches_uninterrupted(self, tmp_path):
+        """Save at step 3, restore into a fresh model+optimizer, train 3
+        more steps: identical to 6 uninterrupted steps."""
+        cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1, vocab_size=32)
+
+        ref_model = GPTModel(cfg, seed=1)
+        ref_corpus = SyntheticCorpus(32, branching=2, seed=1)
+        ref_trainer = Trainer(ref_model, ref_corpus, lr=1e-3)
+        ref_losses = ref_trainer.train(6, batch_size=2, seq_len=8).losses
+
+        model = GPTModel(cfg, seed=1)
+        corpus = SyntheticCorpus(32, branching=2, seed=1)
+        trainer = Trainer(model, corpus, lr=1e-3)
+        first = trainer.train(3, batch_size=2, seq_len=8).losses
+        path = tmp_path / "mid.npz"
+        save_checkpoint(path, model, optimizer=trainer.optimizer, step=3)
+
+        resumed = GPTModel(cfg, seed=42)
+        opt = Adam(resumed.all_params(), lr=1e-3)
+        load_checkpoint(path, resumed, optimizer=opt)
+        # Note: the corpus stream continues from where training left off.
+        trainer2 = Trainer(resumed, corpus, lr=1e-3)
+        trainer2.optimizer = opt
+        second = trainer2.train(3, batch_size=2, seq_len=8).losses
+        np.testing.assert_allclose(first + second, ref_losses, rtol=1e-12)
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        cfg_a = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1)
+        cfg_b = tiny_gpt(hidden_size=64, num_heads=4, num_layers=1)
+        model, _ = self._train_briefly(cfg_a)
+        path = tmp_path / "a.npz"
+        save_checkpoint(path, model)
+        with pytest.raises(ValueError, match="checkpoint was written for"):
+            load_checkpoint(path, GPTModel(cfg_b))
+
+    def test_arch_family_mismatch_rejected(self, tmp_path):
+        cfg_gpt = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1)
+        cfg_llama = tiny_llama(hidden_size=32, num_heads=4, num_kv_heads=2, num_layers=1)
+        model = GPTModel(cfg_gpt, seed=0)
+        path = tmp_path / "gpt.npz"
+        save_checkpoint(path, model)
+        with pytest.raises(ValueError):
+            load_checkpoint(path, GPTModel(cfg_llama))
+
+    def test_missing_optimizer_state_rejected(self, tmp_path):
+        cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1)
+        model = GPTModel(cfg, seed=0)
+        path = tmp_path / "no_opt.npz"
+        save_checkpoint(path, model)  # no optimizer
+        opt = Adam(model.all_params())
+        with pytest.raises(ValueError, match="no optimizer state"):
+            load_checkpoint(path, GPTModel(cfg, seed=0), optimizer=opt)

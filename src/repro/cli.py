@@ -6,10 +6,13 @@
     python -m repro tune --model llama-8b --gpus 4 --seq 512K
     python -m repro experiment table3
     python -m repro train --steps 40
+    python -m repro profile --gpus 2 --out results/profile_trace.json
 
 ``plan`` is the Table-1 question (max context per strategy), ``tune``
 the §5.3 question (which chunk size), ``experiment`` regenerates any
-paper table/figure, and ``train`` runs the Fig.-14 convergence demo.
+paper table/figure, ``train`` runs the Fig.-14 convergence demo, and
+``profile`` replays one traced FPDT step in simulated time, printing
+overlap/MFU rollups and writing a Perfetto-loadable Chrome trace.
 """
 
 from __future__ import annotations
@@ -105,6 +108,49 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.profiler import (
+        cluster_memory_timelines, run_profiled_step, write_chrome_trace,
+    )
+
+    if min(args.gpus, args.chunks, args.prefetch_depth) < 1:
+        print("profile: --gpus, --chunks and --prefetch-depth must be >= 1",
+              file=sys.stderr)
+        return 1
+    try:
+        run = run_profiled_step(
+            world=args.gpus,
+            num_chunks=args.chunks,
+            prefetch_depth=args.prefetch_depth,
+            offload=not args.no_offload,
+            node=_node(args.gpu_kind),
+        )
+    except ValueError as exc:
+        print(f"profile: {exc}", file=sys.stderr)
+        return 1
+    profile = run.profile
+    path = write_chrome_trace(
+        args.out, profile,
+        memory_timelines=cluster_memory_timelines(run.cluster),
+    )
+    print(
+        f"profiled one FPDT step: {args.gpus} ranks, {args.chunks} chunks, "
+        f"prefetch depth {args.prefetch_depth}"
+    )
+    for rollup in [profile.rollup()] + profile.phase_rollups():
+        name = rollup.phase or "overall"
+        print(
+            f"  {name:<10s} span {rollup.span * 1e3:8.3f} ms | "
+            f"compute {rollup.compute_time * 1e3:8.3f} ms | "
+            f"comm {rollup.comm_time * 1e3:8.3f} ms "
+            f"(exposed {rollup.exposed_comm * 1e3:8.3f} ms) | "
+            f"overlap {rollup.overlap_efficiency:6.1%} | "
+            f"MFU {rollup.mfu:.2%}"
+        )
+    print(f"[chrome trace written to {path} — open in https://ui.perfetto.dev]")
+    return 0
+
+
 def cmd_train(args: argparse.Namespace) -> int:
     from repro.experiments.figure14 import train_curve
 
@@ -140,6 +186,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_train = sub.add_parser("train", help="convergence demo (Fig. 14)")
     p_train.add_argument("--steps", type=int, default=40)
     p_train.set_defaults(fn=cmd_train)
+
+    p_prof = sub.add_parser(
+        "profile", help="replay one traced FPDT step in simulated time"
+    )
+    p_prof.add_argument("--gpus", type=int, default=2)
+    p_prof.add_argument("--chunks", type=int, default=4, help="FPDT chunks per rank")
+    p_prof.add_argument(
+        "--prefetch-depth", type=int, default=2,
+        help="double-buffer depth (1 = serialized fetch ablation)",
+    )
+    p_prof.add_argument(
+        "--no-offload", action="store_true", help="keep KV chunks in HBM"
+    )
+    p_prof.add_argument("--gpu-kind", default="80G", choices=["40G", "80G"])
+    p_prof.add_argument(
+        "--out", default="results/profile_trace.json",
+        metavar="PATH", help="Chrome-trace JSON output path",
+    )
+    p_prof.set_defaults(fn=cmd_profile)
     return parser
 
 

@@ -61,6 +61,7 @@ class CheckpointedFPDTStack:
         offload_chunks: bool = True,
         resident_window: int = 2,
         ffn_chunk_factor: int = 2,
+        prefetch_depth: int = 2,
     ):
         if resident_window < 1:
             raise ValueError("resident_window must be >= 1")
@@ -70,6 +71,7 @@ class CheckpointedFPDTStack:
         self.offload_chunks = offload_chunks
         self.resident_window = resident_window
         self.ffn_chunk_factor = ffn_chunk_factor
+        self.prefetch_depth = prefetch_depth
         self._ckpt = ChunkCache(cluster)
         # Layer checkpoints still resident in HBM (index -> per-rank
         # tensors), newest last; bounded by resident_window.
@@ -99,6 +101,7 @@ class CheckpointedFPDTStack:
             y_shards, ctx = fpdt_block_forward(
                 cluster, block.params, block.config, self.layout, x_shards,
                 offload=self.offload_chunks, ffn_chunk_factor=self.ffn_chunk_factor,
+                prefetch_depth=self.prefetch_depth,
             )
             # AC: the saved attention/projection state is dropped; the
             # backward recomputes it from the checkpoint.
@@ -137,6 +140,7 @@ class CheckpointedFPDTStack:
             _, ctx = fpdt_block_forward(
                 cluster, block.params, block.config, self.layout, x_shards,
                 offload=self.offload_chunks, ffn_chunk_factor=self.ffn_chunk_factor,
+                prefetch_depth=self.prefetch_depth,
             )
             dy_shards, block_grads = fpdt_block_backward(
                 cluster, block.config, ctx, dy_shards

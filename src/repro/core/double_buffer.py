@@ -72,12 +72,20 @@ class DoubleBufferPrefetcher:
 
     def wait(self, key: object) -> DeviceTensor:
         """Block until ``key``'s transfer completes and hand it over.
-        The caller owns (and must free) the returned tensor."""
+        The caller owns (and must free) the returned tensor.
+
+        Records a ``wait`` event on the compute stream: the explicit
+        join point the simulated-time profiler uses to decide whether
+        the prefetch was hidden behind compute or *exposed*.
+        """
         if key not in self._inflight:
             raise ScheduleError(
                 f"wait on chunk {key!r} that was never prefetched "
                 f"(in flight: {list(self._inflight)})"
             )
+        self.cache.cluster.trace.record(
+            "wait", f"wait:{key}", rank=self.device.rank, stream="compute"
+        )
         return self._inflight.pop(key)
 
     def drain(self) -> None:

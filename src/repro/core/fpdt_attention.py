@@ -169,6 +169,13 @@ def fpdt_attention_forward(
             j for j in range(i)
             if block_is_visible(big_c, big_c, q_off, layout.gathered_offset(j), window)
         ]
+        # With depth >= 2 the next chunk's fetch is issued *before* the
+        # current chunk is consumed, so it overlaps the attention compute
+        # (the paper's double buffer).  With depth 1 there is only one
+        # buffer: the next fetch can start only after the current chunk's
+        # compute releases it, serializing fetch and compute — the
+        # ablation the profiler quantifies as exposed H2D time.
+        ahead = prefetch_depth >= 2
         if offload:
             prefetchers = [
                 {
@@ -184,7 +191,7 @@ def fpdt_attention_forward(
         for idx, j in enumerate(visible):
             for r in range(world):
                 if offload:
-                    if idx + 1 < len(visible):
+                    if ahead and idx + 1 < len(visible):
                         nxt = visible[idx + 1]
                         prefetchers[r]["k"].prefetch(("k", r, nxt))
                         prefetchers[r]["v"].prefetch(("v", r, nxt))
@@ -205,6 +212,10 @@ def fpdt_attention_forward(
                 if offload:
                     k_t.free()
                     v_t.free()
+                    if not ahead and idx + 1 < len(visible):
+                        nxt = visible[idx + 1]
+                        prefetchers[r]["k"].prefetch(("k", r, nxt))
+                        prefetchers[r]["v"].prefetch(("v", r, nxt))
         # diagonal chunk.
         for r in range(world):
             online_block_update(
@@ -278,6 +289,7 @@ def fpdt_attention_backward(
     dk_local: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
     dv_local: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
 
+    ahead = prefetch_depth >= 2  # see the forward: depth 1 cannot overlap
     for j in range(u):  # outer loop: KV chunks
         k_off = layout.gathered_offset(j)
         visible_q = [
@@ -322,7 +334,7 @@ def fpdt_attention_backward(
             q_off = layout.gathered_offset(i)
             for r in range(world):
                 if offload:
-                    if pos + 1 < len(visible_q):
+                    if ahead and pos + 1 < len(visible_q):
                         nxt = visible_q[pos + 1]
                         kv_pref[r]["q"].prefetch(("q", r, nxt))
                         kv_pref[r]["do"].prefetch(("do", r, nxt))
@@ -349,6 +361,10 @@ def fpdt_attention_backward(
                 if offload:
                     q_t.free()
                     do_t.free()
+                    if not ahead and pos + 1 < len(visible_q):
+                        nxt = visible_q[pos + 1]
+                        kv_pref[r]["q"].prefetch(("q", r, nxt))
+                        kv_pref[r]["do"].prefetch(("do", r, nxt))
         if offload:
             for r in range(world):
                 k_cur[r].free()

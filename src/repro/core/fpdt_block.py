@@ -47,6 +47,21 @@ from repro.runtime.device import VirtualCluster
 ACT_DTYPE = DType.BF16
 
 
+def _qkv_proj_flops(cfg: ModelConfig, batch: int, tokens: int) -> float:
+    """Wq/Wk/Wv GEMMs on one chunk (GQA-aware widths)."""
+    h = cfg.hidden_size
+    return 2.0 * batch * tokens * h * (h + 2 * cfg.kv_hidden_size)
+
+
+def _out_proj_flops(cfg: ModelConfig, batch: int, tokens: int) -> float:
+    return 2.0 * batch * tokens * cfg.hidden_size * cfg.hidden_size
+
+
+def _ffn_flops(cfg: ModelConfig, batch: int, tokens: int) -> float:
+    mults = 3 if cfg.uses_gated_ffn else 2  # SwiGLU has gate+up+down
+    return 2.0 * mults * batch * tokens * cfg.hidden_size * cfg.ffn_hidden_size
+
+
 @dataclass
 class FPDTBlockContext:
     """Saved forward state of one FPDT block."""
@@ -57,6 +72,7 @@ class FPDTBlockContext:
     post_caches: list[list[dict]]
     ffn_caches: list[list[dict]]  # [rank][ffn_chunk] (2u chunks)
     ffn_chunks: int
+    prefetch_depth: int = 2
 
 
 def _ffn_bounds(s_local: int, n: int) -> list[tuple[int, int]]:
@@ -73,6 +89,7 @@ def fpdt_block_forward(
     *,
     offload: bool = True,
     ffn_chunk_factor: int = 2,
+    prefetch_depth: int = 2,
 ) -> tuple[list[np.ndarray], FPDTBlockContext]:
     """One transformer block, fully chunked.
 
@@ -95,6 +112,7 @@ def fpdt_block_forward(
     q_chunks: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
     k_chunks: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
     v_chunks: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
+    batch = x_shards[0].shape[0]
     for r in range(world):
         for i in range(u):
             sl = layout.local_slice(i)
@@ -105,12 +123,17 @@ def fpdt_block_forward(
             q_chunks[r][i] = qh
             k_chunks[r][i] = kh
             v_chunks[r][i] = vh
+            cluster.devices[r].compute(
+                "fpdt.qkv_proj_fwd",
+                flops=_qkv_proj_flops(cfg, batch, sl.stop - sl.start),
+            )
 
     # Phase 2: chunked distributed attention with offloading (+ optional
     # sliding window, under which out-of-window chunks are skipped).
     o_chunks, attn_ctx = fpdt_attention_forward(
         cluster, layout, q_chunks, k_chunks, v_chunks,
         offload=offload, window=cfg.attention_window,
+        prefetch_depth=prefetch_depth,
     )
 
     # Phase 3, chunked: output projection + residual per chunk.
@@ -123,6 +146,10 @@ def fpdt_block_forward(
             y_chunk, cache = attn_post_forward(params, x_shards[r][:, sl], o_chunks[r][i])
             post_caches[r][i] = cache
             mid[:, sl] = y_chunk
+            cluster.devices[r].compute(
+                "fpdt.out_proj_fwd",
+                flops=_out_proj_flops(cfg, batch, sl.stop - sl.start),
+            )
         mid_shards.append(mid)
 
     # Phase 4: FFN at 2x the attention chunk count, never offloaded.
@@ -135,12 +162,15 @@ def fpdt_block_forward(
             y_chunk, cache = ffn_forward(params, cfg, mid_shards[r][:, lo:hi])
             ffn_caches[r].append(cache)
             y[:, lo:hi] = y_chunk
-            cluster.devices[r].compute("fpdt.ffn_fwd", nbytes=(hi - lo))
+            cluster.devices[r].compute(
+                "fpdt.ffn_fwd", flops=_ffn_flops(cfg, batch, hi - lo), nbytes=(hi - lo)
+            )
         y_shards.append(y)
 
     ctx = FPDTBlockContext(
         layout=layout, attn_ctx=attn_ctx, pre_caches=pre_caches,
         post_caches=post_caches, ffn_caches=ffn_caches, ffn_chunks=ffn_chunks,
+        prefetch_depth=prefetch_depth,
     )
     return y_shards, ctx
 
@@ -161,7 +191,8 @@ def fpdt_block_backward(
     world, u = layout.world, layout.num_chunks
     grads: Grads = {}
 
-    # FFN backward, 2u chunks.
+    # FFN backward, 2u chunks (dx + dW: ~2x the forward GEMM volume).
+    batch = dy_shards[0].shape[0]
     dmid_shards = []
     for r in range(world):
         dmid = np.empty_like(dy_shards[r])
@@ -171,7 +202,11 @@ def fpdt_block_backward(
             dx_chunk, g = ffn_backward(dy_shards[r][:, lo:hi], cache)
             accumulate_grads(grads, g)
             dmid[:, lo:hi] = dx_chunk
-            cluster.devices[r].compute("fpdt.ffn_bwd", nbytes=(hi - lo))
+            cluster.devices[r].compute(
+                "fpdt.ffn_bwd",
+                flops=2.0 * _ffn_flops(cfg, batch, hi - lo),
+                nbytes=(hi - lo),
+            )
         dmid_shards.append(dmid)
 
     # Output-projection backward per chunk -> do chunks in local layout.
@@ -184,10 +219,14 @@ def fpdt_block_backward(
             accumulate_grads(grads, g)
             do_chunks[r][i] = do
             dres_chunks[r][i] = dres
+            cluster.devices[r].compute(
+                "fpdt.out_proj_bwd",
+                flops=2.0 * _out_proj_flops(cfg, batch, sl.stop - sl.start),
+            )
 
     # Attention nested-loop backward.
     dq_chunks, dk_chunks, dv_chunks = fpdt_attention_backward(
-        cluster, ctx.attn_ctx, do_chunks
+        cluster, ctx.attn_ctx, do_chunks, prefetch_depth=ctx.prefetch_depth
     )
 
     # QKV-projection backward per chunk (+ residual assembly).
@@ -202,5 +241,9 @@ def fpdt_block_backward(
             )
             accumulate_grads(grads, g)
             dx[:, sl] = dres_chunks[r][i] + dx_pre
+            cluster.devices[r].compute(
+                "fpdt.qkv_proj_bwd",
+                flops=2.0 * _qkv_proj_flops(cfg, batch, sl.stop - sl.start),
+            )
         dx_shards.append(dx)
     return dx_shards, grads

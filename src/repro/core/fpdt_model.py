@@ -72,6 +72,7 @@ class FPDTModelRunner:
         ffn_chunk_factor: int = 2,
         loss_chunks: int | None = None,
         activation_checkpoint: bool = False,
+        prefetch_depth: int = 2,
     ):
         self.model = model
         self.cluster = cluster
@@ -79,6 +80,7 @@ class FPDTModelRunner:
         self.offload = offload
         self.ffn_chunk_factor = ffn_chunk_factor
         self.activation_checkpoint = activation_checkpoint
+        self.prefetch_depth = prefetch_depth
         cfg = model.config
         self.loss_chunks = (
             loss_chunks
@@ -105,6 +107,7 @@ class FPDTModelRunner:
         layout = self._layout(tokens.shape[1])
         world = cluster.world_size
 
+        cluster.trace.mark_phase("forward")
         token_shards = shard_sequence(tokens, layout)
         label_shards = shard_sequence(labels, layout)
         positions = [layout.shard_indices(r) for r in range(world)]
@@ -131,6 +134,7 @@ class FPDTModelRunner:
             ckpt_stack = CheckpointedFPDTStack(
                 model.blocks, cluster, layout,
                 offload_chunks=self.offload, ffn_chunk_factor=self.ffn_chunk_factor,
+                prefetch_depth=self.prefetch_depth,
             )
             x_shards = ckpt_stack.forward(x_shards)
         else:
@@ -138,6 +142,7 @@ class FPDTModelRunner:
                 x_shards, ctx = fpdt_block_forward(
                     cluster, block.params, cfg, layout, x_shards,
                     offload=self.offload, ffn_chunk_factor=self.ffn_chunk_factor,
+                    prefetch_depth=self.prefetch_depth,
                 )
                 block_ctxs.append(ctx)
 
@@ -171,6 +176,7 @@ class FPDTModelRunner:
         loss = total_loss / max(n_valid_global, 1)
 
         # ---------------- backward ----------------
+        cluster.trace.mark_phase("backward")
         grads: dict[str, np.ndarray] = {}
         dx_shards = []
         dembed_head_total = 0
@@ -232,6 +238,7 @@ class FPDTModelRunner:
             x_shards, ctx = fpdt_block_forward(
                 cluster, block.params, cfg, layout, x_shards,
                 offload=self.offload, ffn_chunk_factor=self.ffn_chunk_factor,
+                prefetch_depth=self.prefetch_depth,
             )
             ctx.attn_ctx.release()
         outs = []

@@ -49,14 +49,20 @@ class ChunkCache:
 
     def store(self, key: object, tensor: DeviceTensor, device: VirtualDevice) -> None:
         """Offload ``tensor`` to host under ``key``; the device allocation
-        is released and D2H traffic is recorded."""
+        is released and D2H traffic is recorded.
+
+        The host buffer is allocated *before* the device bytes are freed
+        — the same "receive buffers allocated before freeing inputs"
+        convention the collectives follow: during the D2H copy both
+        copies exist, so transfer-overlap peaks include host + device.
+        """
         if key in self._store:
             raise KeyError(f"chunk cache already holds {key!r}")
-        data = tensor.free()
+        alloc = self.cluster.host.pool.alloc(tensor.nbytes, f"cache:{key}")
         self.cluster.trace.record(
             "d2h", f"offload:{key}", rank=device.rank, stream="d2h", nbytes=tensor.nbytes
         )
-        alloc = self.cluster.host.pool.alloc(tensor.nbytes, f"cache:{key}")
+        data = tensor.free()
         self._store[key] = (data, tensor.dtype, alloc)
 
     def put_host(self, key: object, array: np.ndarray, dtype: DType) -> None:
@@ -87,10 +93,19 @@ class ChunkCache:
 
     def update_host(self, key: object, array: np.ndarray) -> None:
         """Overwrite the host copy in place (gradient accumulators that
-        live on host between outer-loop iterations).  Shape must match."""
+        live on host between outer-loop iterations).  Shape *and* dtype
+        must match: the host pool charges the entry's original byte
+        count, so silently swapping in a wider array (e.g. a float64
+        accumulator over a bf16-sized slot) would leave the pool
+        understating host usage."""
         data, dtype, alloc = self._must_get(key)
         if array.shape != data.shape:
             raise ValueError(f"shape mismatch updating {key!r}")
+        if array.dtype != data.dtype:
+            raise ValueError(
+                f"dtype mismatch updating {key!r}: cached {data.dtype}, "
+                f"got {array.dtype} (host pool charges {alloc.nbytes} bytes)"
+            )
         self._store[key] = (array, dtype, alloc)
 
     def discard(self, key: object) -> np.ndarray:

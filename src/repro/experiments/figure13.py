@@ -21,8 +21,15 @@ from repro.models import TransformerBlock, tiny_llama
 from repro.runtime import VirtualCluster
 
 
-def run(fast: bool = True, *, num_chunks: int = 4, world: int = 4) -> ExperimentResult:
-    """Regenerate Figure 13 from a real pool timeline."""
+def run(
+    fast: bool = True, *, num_chunks: int = 4, world: int = 4, profile: bool = False
+) -> ExperimentResult:
+    """Regenerate Figure 13 from a real pool timeline.
+
+    ``profile=True`` additionally replays the run's trace through the
+    simulated-time profiler and attaches overlap/MFU rollups to
+    ``result.data["profile"]``.
+    """
     del fast  # always cheap
     cfg = tiny_llama(hidden_size=64, num_heads=8, num_kv_heads=4)
     s_local = 8 * num_chunks
@@ -32,12 +39,14 @@ def run(fast: bool = True, *, num_chunks: int = 4, world: int = 4) -> Experiment
     dy = g.normal(size=x.shape)
     layout = ChunkLayout(x.shape[1], world, num_chunks)
     cluster = VirtualCluster(world, record_timeline=True)
+    cluster.trace.mark_phase("forward")
     y, ctx = fpdt_block_forward(
         cluster, block.params, cfg, layout, shard_sequence(x, layout)
     )
     pool = cluster.devices[0].hbm
     bwd_start = len(pool.timeline)
     pool.reset_peak()
+    cluster.trace.mark_phase("backward")
     fpdt_block_backward(cluster, cfg, ctx, shard_sequence(dy, layout))
     timeline = pool.timeline[bwd_start:]
 
@@ -63,6 +72,10 @@ def run(fast: bool = True, *, num_chunks: int = 4, world: int = 4) -> Experiment
     result.data["attn_chunks"] = num_chunks
     result.data["final_in_use"] = timeline[-1].in_use if timeline else 0
     result.data["n_attention_events"] = len(attn_events)
+    if profile:
+        from repro.profiler import profile_cluster
+
+        result.data["profile"] = profile_cluster(cluster).report_data()
     return result
 
 

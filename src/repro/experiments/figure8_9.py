@@ -23,8 +23,14 @@ S = parse_tokens("512K")
 CHUNKS = [parse_tokens(c) for c in ("2K", "4K", "8K", "16K", "32K", "64K", "128K", "256K")]
 
 
-def run(fast: bool = True) -> ExperimentResult:
-    """Regenerate Figures 8-9; ``fast`` trims the chunk sweep."""
+def run(fast: bool = True, *, profile: bool = False) -> ExperimentResult:
+    """Regenerate Figures 8-9; ``fast`` trims the chunk sweep.
+
+    ``profile=True`` also runs one traced FPDT step on the same node
+    kind and attaches the simulated-time overlap/MFU rollups
+    (``result.data["profile"]``) — the executed-schedule counterpart of
+    the analytic utilization columns.
+    """
     chunks = CHUNKS[1:6] if fast else CHUNKS
     node = paper_node_a100_80g()
     cluster = make_cluster(node, WORLD)
@@ -61,6 +67,11 @@ def run(fast: bool = True) -> ExperimentResult:
         f"{rows[big]['working_set'] / rows[small]['working_set']:.0f}x the small-chunk one"
     )
     result.data["rows"] = rows
+    if profile:
+        from repro.profiler import run_profiled_step
+
+        run_p = run_profiled_step(world=WORLD, num_chunks=4, node=node)
+        result.data["profile"] = run_p.profile.report_data()
     return result
 
 

@@ -54,7 +54,30 @@ def render(result: ExperimentResult) -> str:
     lines.extend(fmt(row) for row in result.rows)
     for note in result.notes:
         lines.append(f"  note: {note}")
+    profile = result.data.get("profile")
+    if profile:
+        lines.extend(_render_profile(profile))
     return "\n".join(lines)
+
+
+def _render_profile(profile: dict) -> list[str]:
+    """The simulated-time overlap/MFU section (``run(profile=True)``)."""
+    lines = ["", "-- simulated-time profile --"]
+    rows = [profile["overall"]] + [
+        p for p in profile.get("phases", []) if p["phase"]
+    ]
+    for row in rows:
+        name = row["phase"] or "overall"
+        lines.append(
+            f"  {name:<10s} span {row['span'] * 1e3:8.3f} ms | "
+            f"compute {row['compute_time'] * 1e3:8.3f} ms | "
+            f"comm {row['comm_time'] * 1e3:8.3f} ms "
+            f"(exposed {row['exposed_comm'] * 1e3:8.3f} ms, "
+            f"h2d {row['exposed_h2d'] * 1e3:8.3f} ms) | "
+            f"overlap {row['overlap_efficiency']:6.1%} | "
+            f"MFU {row['mfu']:.2%}"
+        )
+    return lines
 
 
 def save_json(result: ExperimentResult, directory: str | Path = "results") -> Path:

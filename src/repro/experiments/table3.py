@@ -94,8 +94,13 @@ ROWS = [
 WORLD = 8
 
 
-def run(fast: bool = True) -> ExperimentResult:
-    """Regenerate Table 3; ``fast`` restricts to five rows."""
+def run(fast: bool = True, *, profile: bool = False) -> ExperimentResult:
+    """Regenerate Table 3; ``fast`` restricts to five rows.
+
+    ``profile=True`` also runs one traced FPDT step (the table's last
+    row's technique stack, at toy scale) and attaches simulated-time
+    overlap/MFU rollups to ``result.data["profile"]``.
+    """
     node = paper_node_a100_80g()
     rows = ROWS if not fast else [ROWS[0], ROWS[2], ROWS[5], ROWS[8], ROWS[9]]
     result = ExperimentResult(
@@ -136,6 +141,11 @@ def run(fast: bool = True) -> ExperimentResult:
         "the roofline model excludes; ordering and max lengths still hold"
     )
     result.data["rows"] = data
+    if profile:
+        from repro.profiler import run_profiled_step
+
+        run_p = run_profiled_step(world=min(WORLD, 4), num_chunks=4, node=node)
+        result.data["profile"] = run_p.profile.report_data()
     return result
 
 

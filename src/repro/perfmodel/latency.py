@@ -198,6 +198,63 @@ def offload_latency(
     )
 
 
+def trace_event_latency(
+    event,
+    cluster: ClusterSpec,
+    *,
+    calib: Calibration = CALIBRATION,
+) -> float:
+    """Cost (seconds) of one runtime :class:`~repro.runtime.trace
+    .TraceEvent` — the bridge the simulated-time profiler walks to turn
+    the numeric pillar's trace into a timeline.
+
+    * ``compute`` events are rooflined on the recorded flops; labels
+      containing ``"attn"`` use the FlashAttention efficiency, everything
+      else the GEMM efficiency.  Zero-flop markers cost nothing.
+    * ``h2d`` / ``d2h`` use the PCIe fetch/offload model with the node's
+      full PCIe-root contention (every rank moves its chunk at once in
+      FPDT's schedule).
+    * ``collective`` events carry *wire* bytes; hierarchical all-to-all
+      stages route to their own link (``all_to_all_intra`` → NVLink,
+      ``all_to_all_inter`` → interconnect), everything else pays the
+      span's bottleneck link.
+    * ``wait`` / ``phase`` markers are free — their cost is whatever
+      stall the replay derives, not an intrinsic latency.
+    """
+    kind = event.kind
+    if kind == "compute":
+        if event.flops <= 0:
+            return 0.0
+        eff = (
+            calib.flash_attention_efficiency
+            if "attn" in event.label
+            else calib.gemm_efficiency
+        )
+        return event.flops / (cluster.node.gpu.peak_flops_bf16 * eff)
+    if kind == "h2d":
+        return fetch_latency(
+            cluster.node, event.nbytes, strategy="per-gpu", calib=calib
+        )
+    if kind == "d2h":
+        return offload_latency(cluster.node, event.nbytes, calib=calib)
+    if kind == "collective":
+        if cluster.world_size == 1:
+            return 0.0
+        if event.label.startswith("all_to_all_intra:"):
+            link, eff = cluster.node.nvlink, calib.nccl_intra_efficiency
+        elif event.label.startswith("all_to_all_inter:"):
+            link, eff = cluster.node.interconnect, calib.nccl_inter_efficiency
+        else:
+            link = cluster.collective_bottleneck(list(range(cluster.world_size)))
+            eff = (
+                calib.nccl_intra_efficiency
+                if link is cluster.node.nvlink
+                else calib.nccl_inter_efficiency
+            )
+        return link.transfer_time(event.nbytes, efficiency=eff)
+    return 0.0  # wait / phase markers
+
+
 def fpdt_chunk_bytes(cfg: ModelConfig, chunk_tokens: int, world: int, *, batch: int = 1) -> int:
     """Bytes of one gathered (q, k, v) chunk triple per GPU —
     ``[3, b, chunk, h_local, d]`` in BF16, the tensor Fig. 10's fetch

@@ -1,0 +1,38 @@
+"""Simulated-time profiler: replay the numeric runtime's trace with the
+perf model's latencies.
+
+Public surface::
+
+    from repro.profiler import replay_trace, profile_cluster
+    profile = profile_cluster(cluster)          # after a numeric run
+    profile.rollup()                            # overlap / exposed / MFU
+    write_chrome_trace("trace.json", profile,   # open in Perfetto
+                       memory_timelines=cluster_memory_timelines(cluster))
+"""
+
+from repro.profiler.chrome_trace import (
+    cluster_memory_timelines,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.profiler.harness import ProfiledRun, run_profiled_step
+from repro.profiler.replay import (
+    Profile,
+    ProfileRollup,
+    TimedEvent,
+    profile_cluster,
+    replay_trace,
+)
+
+__all__ = [
+    "Profile",
+    "ProfileRollup",
+    "TimedEvent",
+    "ProfiledRun",
+    "replay_trace",
+    "profile_cluster",
+    "run_profiled_step",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "cluster_memory_timelines",
+]

@@ -1,0 +1,164 @@
+"""Chrome-trace (Perfetto) export of a replayed profile.
+
+Emits the Trace Event Format JSON that ``chrome://tracing`` and
+https://ui.perfetto.dev load directly:
+
+* one *process* per rank (plus process 0 for cluster-wide events), one
+  *thread* per stream — so each rank shows its ``compute``,
+  ``h2d-prefetch`` and ``d2h`` lanes stacked, with collectives and phase
+  markers on the cluster row;
+* ``"X"`` complete events for every timed trace event, with byte/FLOP
+  counts and the replay's stall attribution in ``args``;
+* ``"C"`` counter tracks for memory pools: each
+  :class:`~repro.runtime.memory.MemorySample` is placed at the simulated
+  time of the trace event it preceded (``MemorySample.event_index``), so
+  the HBM/host sawtooth lines up with the transfers that caused it.
+
+Timestamps are microseconds, as the format requires.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.profiler.replay import Profile
+from repro.runtime.device import VirtualCluster
+from repro.runtime.memory import MemorySample
+
+_US = 1e6  # seconds -> microseconds
+
+# Stable thread ids per stream so lanes sort consistently in the UI.
+_STREAM_TIDS = {"compute": 1, "h2d-prefetch": 2, "h2d": 3, "d2h": 4, "collective": 5, "phase": 6}
+
+
+def _tid(stream: str) -> int:
+    return _STREAM_TIDS.get(stream, 9)
+
+
+def _lane(kind: str, stream: str) -> str:
+    """Display lane for an event.  Collectives and phase markers get
+    their own lanes regardless of the stream the runtime recorded them
+    on (collectives default to the compute stream there)."""
+    if kind in ("collective", "phase"):
+        return kind
+    return stream
+
+
+def to_chrome_trace(
+    profile: Profile,
+    *,
+    memory_timelines: dict[str, list[MemorySample]] | None = None,
+) -> dict:
+    """Build the Chrome-trace JSON document (a plain dict).
+
+    ``memory_timelines`` maps counter-track names (e.g. ``"cuda:0"``,
+    ``"host"``) to pool timelines; pass
+    ``{d.hbm.name: d.hbm.timeline for d in cluster.devices}`` etc. from
+    a ``record_timeline=True`` run.
+    """
+    events: list[dict] = []
+
+    # Metadata: name processes (ranks) and threads (streams).
+    pids = {-1}
+    streams_by_pid: dict[int, set[str]] = {-1: {"collective", "phase"}}
+    for te in profile.timeline:
+        r = te.event.rank
+        pids.add(r)
+        streams_by_pid.setdefault(r, set()).add(
+            _lane(te.event.kind, te.event.stream)
+        )
+    for r in sorted(pids):
+        pid = r + 1
+        name = "cluster" if r < 0 else f"rank {r}"
+        events.append(
+            {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+             "args": {"name": name}}
+        )
+        for stream in sorted(streams_by_pid.get(r, ())):
+            events.append(
+                {"ph": "M", "name": "thread_name", "pid": pid,
+                 "tid": _tid(stream), "args": {"name": stream}}
+            )
+
+    # Event -> simulated start time, for placing memory samples.
+    start_by_index: dict[int, float] = {}
+    for te in profile.timeline:
+        start_by_index[te.event.event_id] = te.start
+
+    for te in profile.timeline:
+        ev = te.event
+        pid = ev.rank + 1
+        if ev.kind == "phase":
+            events.append(
+                {"ph": "i", "name": ev.label, "cat": "phase", "s": "g",
+                 "ts": te.start * _US, "pid": pid, "tid": _tid("phase")}
+            )
+            continue
+        args: dict = {"kind": ev.kind, "stream": ev.stream}
+        if ev.nbytes:
+            args["nbytes"] = ev.nbytes
+        if ev.flops:
+            args["flops"] = ev.flops
+        if te.stall:
+            args["stall_us"] = te.stall * _US
+        events.append(
+            {
+                "ph": "X",
+                "name": ev.label,
+                "cat": ev.kind,
+                "ts": te.start * _US,
+                "dur": max(te.duration, 0.0) * _US,
+                "pid": pid,
+                "tid": _tid(_lane(ev.kind, ev.stream)),
+                "args": args,
+            }
+        )
+
+    for pool_name, samples in (memory_timelines or {}).items():
+        for sample in samples:
+            # The sample was taken after trace event ``event_index - 1``
+            # and before ``event_index``: place it at the latter's start
+            # (or at the end of the replay for trailing samples).
+            ts = start_by_index.get(sample.event_index, profile.makespan)
+            events.append(
+                {
+                    "ph": "C",
+                    "name": f"mem:{pool_name}",
+                    "ts": ts * _US,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": {"bytes_in_use": sample.in_use},
+                }
+            )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "makespan_us": profile.makespan * _US,
+            "world": profile.world,
+        },
+    }
+
+
+def cluster_memory_timelines(cluster: VirtualCluster) -> dict[str, list[MemorySample]]:
+    """Counter-track inputs for every pool of a cluster (HBM per rank +
+    host); empty lists are dropped."""
+    timelines = {dev.hbm.name: dev.hbm.timeline for dev in cluster.devices}
+    timelines[cluster.host.pool.name] = cluster.host.pool.timeline
+    return {name: tl for name, tl in timelines.items() if tl}
+
+
+def write_chrome_trace(
+    path: str | Path,
+    profile: Profile,
+    *,
+    memory_timelines: dict[str, list[MemorySample]] | None = None,
+) -> Path:
+    """Serialize :func:`to_chrome_trace` to ``path`` and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    doc = to_chrome_trace(profile, memory_timelines=memory_timelines)
+    path.write_text(json.dumps(doc))
+    return path

@@ -1,0 +1,68 @@
+"""Canonical profiled FPDT run for the CLI and experiments.
+
+Runs one real forward+backward step of a tiny FPDT model on a
+``record_timeline=True`` virtual cluster, phase-marked, then replays the
+trace with the latency model.  Small by construction — the point is the
+schedule's *shape* (overlap, exposure, phase structure), which is
+independent of model scale; the absolute times come from the hardware
+spec passed in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fpdt_model import FPDTModelRunner
+from repro.hardware.specs import NodeSpec, paper_node_a100_80g
+from repro.models import GPTModel, tiny_llama
+from repro.perfmodel.calibration import CALIBRATION, Calibration
+from repro.profiler.replay import Profile, profile_cluster
+from repro.runtime.device import VirtualCluster
+
+
+@dataclass
+class ProfiledRun:
+    """A replayed FPDT step plus the cluster that produced the trace."""
+
+    profile: Profile
+    cluster: VirtualCluster
+    loss: float
+
+
+def run_profiled_step(
+    *,
+    world: int = 2,
+    num_chunks: int = 4,
+    seq_per_chunk: int = 8,
+    batch: int = 1,
+    prefetch_depth: int = 2,
+    offload: bool = True,
+    node: NodeSpec | None = None,
+    calib: Calibration = CALIBRATION,
+    seed: int = 0,
+) -> ProfiledRun:
+    """One FPDT forward+backward step, traced and replayed.
+
+    The sequence length is ``world * num_chunks * seq_per_chunk``
+    tokens.  ``prefetch_depth=1`` disables the double buffer (the
+    serialization ablation); ``node`` defaults to the paper's A100-80G
+    box.
+    """
+    cfg = tiny_llama(hidden_size=64, num_heads=8, num_kv_heads=4)
+    model = GPTModel(cfg, seed=seed)
+    cluster = VirtualCluster(world, record_timeline=True)
+    runner = FPDTModelRunner(
+        model, cluster, num_chunks=num_chunks, offload=offload,
+        prefetch_depth=prefetch_depth,
+    )
+    rng = np.random.default_rng(seed + 1)
+    s_global = world * num_chunks * seq_per_chunk
+    tokens = rng.integers(0, cfg.vocab_size, size=(batch, s_global))
+    labels = np.roll(tokens, -1, axis=1)
+    loss, _ = runner.forward_backward(tokens, labels)
+    profile = profile_cluster(
+        cluster, node if node is not None else paper_node_a100_80g(), calib=calib
+    )
+    return ProfiledRun(profile=profile, cluster=cluster, loss=float(loss))

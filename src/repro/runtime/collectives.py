@@ -35,8 +35,13 @@ def _validate(cluster: VirtualCluster, tensors: list[DeviceTensor]) -> None:
 
 
 def _wire_bytes(per_rank_nbytes: int, world: int) -> int:
-    """Per-rank bus traffic of a1a/ag/rs collectives."""
-    return per_rank_nbytes * (world - 1) // world
+    """Per-rank bus traffic of a1a/ag/rs collectives.
+
+    Rounded *up*: when the payload is not divisible by the world size the
+    peer slices are padded to whole elements, so flooring would silently
+    undercount bus traffic.
+    """
+    return -(-per_rank_nbytes * (world - 1) // world)
 
 
 def all_to_all(

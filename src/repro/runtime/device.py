@@ -9,6 +9,8 @@ take a cluster plus per-rank inputs.
 
 from __future__ import annotations
 
+import itertools
+
 import numpy as np
 
 from repro.common.dtypes import DType
@@ -120,16 +122,28 @@ class VirtualCluster:
         self.world_size = world_size
         self.spec = spec
         self.trace = Trace()
+        # All pools of a cluster share one step clock (their timeline
+        # samples interleave on a global order) and stamp samples with
+        # the trace position, so the profiler can place memory counters
+        # on the simulated timeline.
+        step_clock = itertools.count()
+        event_clock = lambda: len(self.trace.events)  # noqa: E731
         self.devices = [
             VirtualDevice(
                 rank,
-                MemoryPool(f"cuda:{rank}", hbm_capacity, record_timeline=record_timeline),
+                MemoryPool(
+                    f"cuda:{rank}", hbm_capacity, record_timeline=record_timeline,
+                    step_clock=step_clock, event_clock=event_clock,
+                ),
                 self.trace,
             )
             for rank in range(world_size)
         ]
         self.host = HostMemory(
-            MemoryPool("host", host_capacity, record_timeline=record_timeline),
+            MemoryPool(
+                "host", host_capacity, record_timeline=record_timeline,
+                step_clock=step_clock, event_clock=event_clock,
+            ),
             self.trace,
         )
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import Callable, Iterator
 
 from repro.common.errors import OutOfMemoryError
 
@@ -32,12 +33,20 @@ class Allocation:
 
 @dataclass(frozen=True)
 class MemorySample:
-    """One point of a pool's usage timeline."""
+    """One point of a pool's usage timeline.
+
+    ``event_index`` is the number of trace events recorded when the
+    sample was taken (-1 for standalone pools without an event clock);
+    it is what lets the profiler place memory counters on the simulated
+    timeline — the sample happened after trace event ``event_index - 1``
+    and before event ``event_index``.
+    """
 
     step: int
     in_use: int
     event: str  # "alloc:<tag>" or "free:<tag>"
     tag: str
+    event_index: int = -1
 
 
 class MemoryPool:
@@ -54,6 +63,15 @@ class MemoryPool:
     record_timeline:
         When True, every alloc/free appends a :class:`MemorySample`,
         which is what Fig. 13 plots.
+    step_clock:
+        Optional shared step counter; a :class:`~repro.runtime.device
+        .VirtualCluster` passes one counter to all its pools so samples
+        from different pools (HBM of each rank, host) interleave on one
+        global order — required to reason about cross-pool coexistence,
+        e.g. "host and device bytes overlap during a D2H offload".
+    event_clock:
+        Optional zero-arg callable returning the current trace length;
+        stamps each sample with the trace position it occurred at.
     """
 
     def __init__(
@@ -62,6 +80,8 @@ class MemoryPool:
         capacity: int | None = None,
         *,
         record_timeline: bool = False,
+        step_clock: Iterator[int] | None = None,
+        event_clock: Callable[[], int] | None = None,
     ):
         if capacity is not None and capacity < 0:
             raise ValueError("capacity must be non-negative")
@@ -75,7 +95,8 @@ class MemoryPool:
         self.timeline: list[MemorySample] = []
         self._live: dict[int, Allocation] = {}
         self._ids = itertools.count()
-        self._step = itertools.count()
+        self._step = step_clock if step_clock is not None else itertools.count()
+        self._event_clock = event_clock
         self._usage_by_tag: dict[str, int] = {}
 
     def alloc(self, nbytes: int, tag: str = "") -> Allocation:
@@ -94,7 +115,9 @@ class MemoryPool:
         self._usage_by_tag[tag] = self._usage_by_tag.get(tag, 0) + nbytes
         if self.record_timeline:
             self.timeline.append(
-                MemorySample(next(self._step), self.in_use, f"alloc:{tag}", tag)
+                MemorySample(
+                    next(self._step), self.in_use, f"alloc:{tag}", tag, self._event_index()
+                )
             )
         return alloc
 
@@ -102,11 +125,24 @@ class MemoryPool:
         """Release a live allocation.  Double frees raise ``KeyError``."""
         stored = self._live.pop(alloc.alloc_id)
         self.in_use -= stored.nbytes
-        self._usage_by_tag[stored.tag] -= stored.nbytes
+        remaining = self._usage_by_tag[stored.tag] - stored.nbytes
+        if remaining:
+            self._usage_by_tag[stored.tag] = remaining
+        else:
+            # Drop zeroed tags: long runs cycle through unbounded unique
+            # tags (per-chunk cache keys), and keeping dead entries grows
+            # the dict without bound.
+            del self._usage_by_tag[stored.tag]
         if self.record_timeline:
             self.timeline.append(
-                MemorySample(next(self._step), self.in_use, f"free:{stored.tag}", stored.tag)
+                MemorySample(
+                    next(self._step), self.in_use, f"free:{stored.tag}", stored.tag,
+                    self._event_index(),
+                )
             )
+
+    def _event_index(self) -> int:
+        return self._event_clock() if self._event_clock is not None else -1
 
     def live_allocations(self) -> list[Allocation]:
         return list(self._live.values())

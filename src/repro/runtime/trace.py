@@ -5,6 +5,16 @@ host/device transfers, with byte and FLOP counts — but never *when*.
 Tests assert structural properties off the trace (e.g. "FPDT forward
 issues exactly ``u`` all-to-alls per layer", "offloaded bytes equal
 fetched bytes"); the perf model assigns times separately.
+
+Two event kinds exist purely to make that later timing join exact:
+
+* ``wait`` — a consumer blocked on an async transfer (recorded by the
+  double-buffer prefetcher when a chunk is handed over).  Zero cost in
+  itself; :mod:`repro.profiler` turns it into a cross-stream dependency
+  edge and charges any stall to *exposed* communication time.
+* ``phase`` — a named marker (``mark_phase``) splitting the log into
+  sections ("forward", "backward", ...) that profiler rollups report
+  separately.
 """
 
 from __future__ import annotations
@@ -35,7 +45,7 @@ class TraceEvent:
 class Trace:
     """Append-only event log shared by all virtual devices of a cluster."""
 
-    KINDS = ("compute", "collective", "h2d", "d2h")
+    KINDS = ("compute", "collective", "h2d", "d2h", "wait", "phase")
 
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
@@ -56,6 +66,11 @@ class Trace:
         event = TraceEvent(next(self._ids), kind, label, rank, stream, nbytes, flops)
         self.events.append(event)
         return event
+
+    def mark_phase(self, name: str) -> TraceEvent:
+        """Drop a named phase marker; profiler rollups report the events
+        between consecutive markers as one phase."""
+        return self.record("phase", name, stream="phase")
 
     def filter(
         self,

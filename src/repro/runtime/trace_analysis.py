@@ -27,6 +27,8 @@ class TraceSummary:
     d2h_count: int = 0
     compute_flops: float = 0.0
     compute_count: int = 0
+    wait_count: int = 0
+    phases: list[str] = field(default_factory=list)
 
     @property
     def total_collective_bytes(self) -> int:
@@ -62,6 +64,10 @@ def summarize(trace: Trace) -> TraceSummary:
         elif event.kind == "compute":
             summary.compute_flops += event.flops
             summary.compute_count += 1
+        elif event.kind == "wait":
+            summary.wait_count += 1
+        elif event.kind == "phase":
+            summary.phases.append(event.label)
     summary.collective_bytes = dict(coll_bytes)
     summary.collective_count = dict(coll_count)
     return summary

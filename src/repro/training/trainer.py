@@ -26,6 +26,9 @@ class TrainResult:
 
     losses: list[float] = field(default_factory=list)
     tokens_seen: int = 0
+    #: Simulated-time profile of the run's trace (``train(profile=True)``
+    #: on an FPDT runner); None otherwise.
+    profile: "object | None" = None
 
     def final_loss(self, tail: int = 10) -> float:
         """Mean of the last ``tail`` losses (smooths sampling noise)."""
@@ -99,7 +102,27 @@ class Trainer:
         self.result.tokens_seen += batch_size * seq_len
         return loss
 
-    def train(self, num_steps: int, *, batch_size: int = 4, seq_len: int = 32) -> TrainResult:
+    def train(
+        self,
+        num_steps: int,
+        *,
+        batch_size: int = 4,
+        seq_len: int = 32,
+        profile: bool = False,
+    ) -> TrainResult:
+        """Run ``num_steps``; with ``profile=True`` (FPDT runner only),
+        replay the accumulated runtime trace through the simulated-time
+        profiler and attach the :class:`~repro.profiler.Profile` to the
+        result."""
+        if profile and self.runner is None:
+            raise ValueError(
+                "profile=True needs an FPDT runner (the reference path "
+                "records no runtime trace)"
+            )
         for _ in range(num_steps):
             self.step(batch_size, seq_len)
+        if profile:
+            from repro.profiler import profile_cluster
+
+            self.result.profile = profile_cluster(self.runner.cluster)
         return self.result

@@ -22,6 +22,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "figure99"])
 
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.gpus == 2
+        assert args.chunks == 4
+        assert args.prefetch_depth == 2
+        assert not args.no_offload
+        assert args.out == "results/profile_trace.json"
+
+    def test_profile_flags(self):
+        args = build_parser().parse_args(
+            ["profile", "--gpus", "4", "--prefetch-depth", "1", "--no-offload"]
+        )
+        assert (args.gpus, args.prefetch_depth, args.no_offload) == (4, 1, True)
+
 
 class TestCommands:
     def test_plan_output(self, capsys):
@@ -56,3 +70,17 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "window 64K" in out
         assert "GPU-h/B tokens" in out
+
+    def test_profile_writes_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        assert main([
+            "profile", "--gpus", "2", "--chunks", "3", "--out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "overlap" in out and "MFU" in out
+        assert "forward" in out and "backward" in out
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["world"] == 2

@@ -86,6 +86,16 @@ class TestChunkCache:
         cache.update_host("a", np.ones((4,)))
         np.testing.assert_array_equal(cache.peek("a"), np.ones(4))
 
+    def test_update_host_dtype_check(self):
+        """A wider array silently swapped in would leave the host pool
+        understating usage — must be rejected, not absorbed."""
+        _, cache, _ = _setup()
+        cache.put_host("a", np.zeros((4,), np.float32), DType.FP32)
+        with pytest.raises(ValueError, match="dtype mismatch"):
+            cache.update_host("a", np.zeros((4,), np.float64))
+        cache.update_host("a", np.ones((4,), np.float32))
+        np.testing.assert_array_equal(cache.peek("a"), np.ones(4, np.float32))
+
 
 class TestDoubleBufferPrefetcher:
     def _cache_with(self, cluster, dev, keys):

@@ -1,0 +1,365 @@
+"""Tests for the simulated-time profiler (trace replay, rollups,
+Chrome-trace export) and the offload-ordering semantics it depends on."""
+
+import json
+from collections import defaultdict
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.common.dtypes import DType
+from repro.core.offload import ChunkCache
+from repro.hardware.specs import A100_80G, LinkSpec, NodeSpec, paper_node_a100_80g
+from repro.hardware.topology import ClusterSpec
+from repro.perfmodel.calibration import Calibration
+from repro.perfmodel.latency import trace_event_latency
+from repro.profiler import (
+    cluster_memory_timelines,
+    profile_cluster,
+    replay_trace,
+    run_profiled_step,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.runtime import VirtualCluster
+from repro.runtime.trace import Trace
+
+# A deliberately compute-bound testbed: a GPU 100,000x slower than an
+# A100 against a free PCIe link, so any fetch hides behind compute.
+FREE_PCIE = LinkSpec(name="free-pcie", bandwidth=float("inf"), latency=0.0, shared=True)
+SLOW_GPU = replace(A100_80G, peak_flops_bf16=3.12e9, name="slow-a100")
+NO_CONTENTION = Calibration(pcie_contention_overhead=0.0)
+
+
+def _compute_bound_spec(world: int) -> ClusterSpec:
+    node = NodeSpec(
+        name="compute-bound", gpu=SLOW_GPU, gpus_per_node=world, pcie=FREE_PCIE
+    )
+    return ClusterSpec(node=node, num_nodes=1)
+
+
+def _slow_gpu_node(world: int) -> NodeSpec:
+    """Slow GPU, *real* PCIe: compute dominates, fetches are hideable but
+    not free — the regime where prefetch depth matters."""
+    return NodeSpec(name="slow-node", gpu=SLOW_GPU, gpus_per_node=world)
+
+
+class TestReplayBasics:
+    def test_empty_trace(self):
+        profile = replay_trace(Trace(), ClusterSpec(paper_node_a100_80g(), 1))
+        assert profile.makespan == 0.0
+        assert profile.timeline == []
+        assert profile.rollup().overlap_efficiency == 1.0
+
+    def test_compute_events_serialize_per_rank(self):
+        trace = Trace()
+        trace.record("compute", "gemm", rank=0, flops=1e12)
+        trace.record("compute", "gemm", rank=0, flops=1e12)
+        trace.record("compute", "gemm", rank=1, flops=1e12)
+        profile = replay_trace(trace, ClusterSpec(paper_node_a100_80g(2), 1))
+        r0 = profile.events(rank=0)
+        assert r0[1].start == pytest.approx(r0[0].end)
+        # Rank 1 runs concurrently with rank 0, not after it.
+        assert profile.events(rank=1)[0].start == 0.0
+
+    def test_collective_is_a_barrier(self):
+        trace = Trace()
+        trace.record("compute", "gemm", rank=0, flops=2e12)
+        trace.record("compute", "gemm", rank=1, flops=1e12)
+        trace.record("collective", "all_to_all:x", nbytes=1 << 20)
+        trace.record("compute", "gemm", rank=1, flops=1e12)
+        profile = replay_trace(trace, ClusterSpec(paper_node_a100_80g(2), 1))
+        coll = profile.events(kind="collective")[0]
+        # The barrier waits for the slowest rank's compute...
+        assert coll.start == pytest.approx(profile.events(rank=0)[0].end)
+        # ...and work after it resumes only once it completes.
+        after = profile.events(rank=1, kind="compute")[1]
+        assert after.start == pytest.approx(coll.end)
+
+    def test_phase_markers_partition_rollups(self):
+        trace = Trace()
+        trace.mark_phase("fwd")
+        trace.record("compute", "gemm", rank=0, flops=1e12)
+        trace.mark_phase("bwd")
+        trace.record("compute", "gemm", rank=0, flops=2e12)
+        profile = replay_trace(trace, ClusterSpec(paper_node_a100_80g(1), 1))
+        assert profile.phases() == ["fwd", "bwd"]
+        fwd, bwd = profile.rollup("fwd"), profile.rollup("bwd")
+        assert bwd.compute_time == pytest.approx(2 * fwd.compute_time)
+        assert profile.rollup().compute_time == pytest.approx(
+            fwd.compute_time + bwd.compute_time
+        )
+
+    def test_event_latency_routes_hierarchical_stages(self):
+        spec = ClusterSpec(paper_node_a100_80g(4), 2)
+        trace = Trace()
+        intra = trace.record("collective", "all_to_all_intra:x", nbytes=1 << 20)
+        inter = trace.record("collective", "all_to_all_inter:x", nbytes=1 << 20)
+        t_intra = trace_event_latency(intra, spec)
+        t_inter = trace_event_latency(inter, spec)
+        assert t_intra < t_inter  # NVLink vs InfiniBand
+
+
+class TestTimelineInvariants:
+    def _profile(self, depth=2):
+        return run_profiled_step(
+            world=2, num_chunks=4, prefetch_depth=depth, node=_slow_gpu_node(2)
+        ).profile
+
+    def test_per_stream_monotone_and_disjoint(self):
+        profile = self._profile()
+        by_stream = defaultdict(list)
+        for te in profile.timeline:
+            if te.event.kind == "phase":
+                continue
+            by_stream[(te.event.rank, te.event.stream)].append(te)
+        assert len(by_stream) > 3  # compute + prefetch + d2h per rank
+        for key, events in by_stream.items():
+            for a, b in zip(events, events[1:]):
+                assert a.start <= b.start, key
+                if key[1] != "compute":
+                    # Stream-serialized transfers must not overlap.
+                    assert b.start >= a.end - 1e-12, key
+
+    def test_makespan_covers_every_event(self):
+        profile = self._profile()
+        assert profile.makespan == pytest.approx(
+            max(te.end for te in profile.timeline)
+        )
+        assert all(te.end >= te.start for te in profile.timeline)
+
+    def test_waits_follow_their_fetch(self):
+        profile = self._profile()
+        fetch_end = {}
+        for te in profile.timeline:
+            if te.event.kind == "h2d":
+                fetch_end[(te.event.rank, te.event.label.split(":", 1)[1])] = te.end
+            elif te.event.kind == "wait":
+                key = (te.event.rank, te.event.label.split(":", 1)[1])
+                assert key in fetch_end
+                assert te.end >= fetch_end[key] - 1e-12
+
+
+class TestOverlap:
+    def test_exposed_comm_zero_when_compute_bound(self):
+        """With the double buffer (depth >= 2), world 1 and free PCIe,
+        every fetch hides behind the slow compute: zero exposed comm."""
+        run = run_profiled_step(world=1, num_chunks=4, prefetch_depth=2)
+        profile = replay_trace(
+            run.cluster.trace, _compute_bound_spec(1), calib=NO_CONTENTION
+        )
+        rollup = profile.rollup()
+        assert rollup.compute_time > 0
+        assert rollup.exposed_comm == 0.0
+        assert rollup.overlap_efficiency == 1.0
+
+    def test_double_buffer_beats_single_buffer(self):
+        """The paper's Fig. 7 claim, measured: depth 2 exposes strictly
+        less H2D time than depth 1 on the same config."""
+        node = _slow_gpu_node(2)
+        deep = run_profiled_step(world=2, num_chunks=4, prefetch_depth=2, node=node)
+        shallow = run_profiled_step(world=2, num_chunks=4, prefetch_depth=1, node=node)
+        exp2 = deep.profile.rollup().exposed_h2d
+        exp1 = shallow.profile.rollup().exposed_h2d
+        assert exp2 < exp1
+        # And both runs compute the same numbers.
+        assert deep.loss == pytest.approx(shallow.loss)
+
+    def test_depth1_also_slower_end_to_end(self):
+        node = _slow_gpu_node(2)
+        deep = run_profiled_step(world=2, num_chunks=4, prefetch_depth=2, node=node)
+        shallow = run_profiled_step(world=2, num_chunks=4, prefetch_depth=1, node=node)
+        assert deep.profile.makespan < shallow.profile.makespan
+
+    def test_mfu_positive_and_bounded(self):
+        profile = run_profiled_step(
+            world=2, num_chunks=4, node=_slow_gpu_node(2)
+        ).profile
+        rollup = profile.rollup()
+        assert 0 < rollup.mfu <= 1.0
+        for phase_rollup in profile.phase_rollups():
+            assert 0 <= phase_rollup.mfu <= 1.0
+
+
+class TestChromeTrace:
+    def _run(self):
+        return run_profiled_step(world=2, num_chunks=3, node=_slow_gpu_node(2))
+
+    def test_schema(self, tmp_path):
+        run = self._run()
+        path = write_chrome_trace(
+            tmp_path / "trace.json", run.profile,
+            memory_timelines=cluster_memory_timelines(run.cluster),
+        )
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        phs = {e["ph"] for e in doc["traceEvents"]}
+        assert {"X", "M", "C", "i"} <= phs
+        for e in doc["traceEvents"]:
+            assert "pid" in e and "name" in e
+            if e["ph"] == "X":
+                assert e["ts"] >= 0 and e["dur"] >= 0 and "tid" in e
+
+    def test_per_rank_stream_tracks(self):
+        run = self._run()
+        doc = to_chrome_trace(run.profile)
+        names = {
+            (e["pid"], e["args"]["name"])
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        for rank in range(2):
+            pid = rank + 1
+            assert (pid, "compute") in names
+            assert (pid, "h2d-prefetch") in names
+            assert (pid, "d2h") in names
+        assert (0, "collective") in names  # cluster-wide row
+
+    def test_collectives_on_the_collective_lane(self):
+        run = self._run()
+        doc = to_chrome_trace(run.profile)
+        lane_name = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        colls = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["cat"] == "collective"
+        ]
+        assert colls
+        # The runtime records collectives on the compute stream; the
+        # export must still put them on the cluster's collective lane.
+        assert {lane_name[(e["pid"], e["tid"])] for e in colls} == {"collective"}
+        assert {e["pid"] for e in colls} == {0}
+
+    def test_memory_counter_track(self):
+        run = self._run()
+        doc = to_chrome_trace(
+            run.profile, memory_timelines=cluster_memory_timelines(run.cluster)
+        )
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        names = {e["name"] for e in counters}
+        assert "mem:cuda:0" in names and "mem:host" in names
+        for e in counters:
+            assert e["args"]["bytes_in_use"] >= 0
+        # Counter timestamps live on the simulated timeline.
+        ts = [e["ts"] for e in counters]
+        assert max(ts) <= run.profile.makespan * 1e6 + 1e-6
+
+    def test_counters_track_offload_growth(self):
+        run = self._run()
+        doc = to_chrome_trace(
+            run.profile, memory_timelines=cluster_memory_timelines(run.cluster)
+        )
+        host = [e for e in doc["traceEvents"]
+                if e["ph"] == "C" and e["name"] == "mem:host"]
+        assert max(e["args"]["bytes_in_use"] for e in host) > 0
+
+
+class TestStoreOrdering:
+    """Satellite regression: ChunkCache.store allocates the host buffer
+    *before* freeing the device tensor, so both copies coexist at the
+    offload instant (the transfer-overlap peak)."""
+
+    def test_host_and_device_bytes_coexist_at_offload(self):
+        cluster = VirtualCluster(1, record_timeline=True)
+        cache = ChunkCache(cluster)
+        dev = cluster.devices[0]
+        t = dev.from_numpy(np.ones((8, 8), np.float32), DType.BF16, "chunk")
+        nbytes = t.nbytes
+        cache.store("k0", t, dev)
+        host_alloc = next(
+            s for s in cluster.host.pool.timeline if s.event == "alloc:cache:k0"
+        )
+        dev_free = next(
+            s for s in dev.hbm.timeline if s.event == "free:chunk"
+        )
+        # Shared step clock: host alloc strictly precedes the device free.
+        assert host_alloc.step < dev_free.step
+        # At the host-alloc instant the device copy is still resident.
+        dev_before = [s for s in dev.hbm.timeline if s.step < host_alloc.step]
+        assert dev_before and dev_before[-1].in_use == nbytes
+        assert host_alloc.in_use == nbytes
+
+    def test_samples_stamped_with_trace_position(self):
+        cluster = VirtualCluster(1, record_timeline=True)
+        cache = ChunkCache(cluster)
+        dev = cluster.devices[0]
+        t = dev.from_numpy(np.ones(4, np.float32), DType.BF16, "chunk")
+        cache.store("k0", t, dev)
+        (d2h,) = cluster.trace.filter(kind="d2h")
+        host_alloc = next(
+            s for s in cluster.host.pool.timeline if s.event == "alloc:cache:k0"
+        )
+        dev_free = next(s for s in dev.hbm.timeline if s.event == "free:chunk")
+        # Alloc happened before the d2h trace event, free after it.
+        assert host_alloc.event_index == d2h.event_id
+        assert dev_free.event_index == d2h.event_id + 1
+
+
+class TestIntegration:
+    def test_profile_cluster_uses_cluster_spec(self):
+        spec = ClusterSpec(paper_node_a100_80g(2), 1)
+        cluster = VirtualCluster(2, spec=spec)
+        cluster.devices[0].compute("gemm", flops=1e12)
+        profile = profile_cluster(cluster)
+        assert profile.peak_flops == spec.node.gpu.peak_flops_bf16
+        assert profile.makespan > 0
+
+    def test_report_data_shape(self):
+        run = run_profiled_step(world=2, num_chunks=3)
+        data = run.profile.report_data()
+        assert set(data) == {"makespan", "world", "overall", "phases"}
+        assert data["world"] == 2
+        assert {p["phase"] for p in data["phases"]} == {"forward", "backward"}
+        for row in [data["overall"]] + data["phases"]:
+            assert 0 <= row["overlap_efficiency"] <= 1
+            assert row["exposed_h2d"] <= row["exposed_comm"] + 1e-12
+
+    def test_trainer_profile_option(self):
+        from repro.core.fpdt_model import FPDTModelRunner
+        from repro.models import GPTModel, tiny_llama
+        from repro.training.data import SyntheticCorpus
+        from repro.training.trainer import Trainer
+
+        cfg = tiny_llama(hidden_size=32, num_heads=4, num_kv_heads=2)
+        model = GPTModel(cfg)
+        cluster = VirtualCluster(2)
+        runner = FPDTModelRunner(model, cluster, num_chunks=2)
+        trainer = Trainer(model, SyntheticCorpus(vocab_size=cfg.vocab_size, seed=0),
+                          runner=runner)
+        result = trainer.train(1, batch_size=1, seq_len=16, profile=True)
+        assert result.profile is not None
+        assert result.profile.rollup().comm_time > 0
+
+    def test_trainer_profile_requires_runner(self):
+        from repro.models import GPTModel, tiny_llama
+        from repro.training.data import SyntheticCorpus
+        from repro.training.trainer import Trainer
+
+        cfg = tiny_llama(hidden_size=32, num_heads=4, num_kv_heads=2)
+        trainer = Trainer(
+            GPTModel(cfg), SyntheticCorpus(vocab_size=cfg.vocab_size, seed=0)
+        )
+        with pytest.raises(ValueError):
+            trainer.train(1, batch_size=1, seq_len=16, profile=True)
+
+    def test_experiment_profile_flags(self):
+        from repro.experiments import figure13
+
+        result = figure13.run(profile=True, world=2, num_chunks=2)
+        prof = result.data["profile"]
+        assert prof["overall"]["comm_time"] > 0
+        assert {p["phase"] for p in prof["phases"]} >= {"forward", "backward"}
+
+    def test_report_renders_profile_section(self):
+        from repro.experiments import figure13
+        from repro.experiments.report import render
+
+        result = figure13.run(profile=True, world=2, num_chunks=2)
+        text = render(result)
+        assert "simulated-time profile" in text
+        assert "overlap" in text and "MFU" in text

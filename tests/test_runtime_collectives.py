@@ -91,6 +91,18 @@ class TestAllToAll:
         assert len(events) == 1
         assert events[0].nbytes == per_rank * 3 // 4
 
+    def test_wire_bytes_rounds_up(self):
+        """Odd shard sizes must round the (world-1)/world wire fraction
+        *up* — flooring undercounts a byte per event, which compounds
+        across thousands of traced collectives."""
+        from repro.runtime.collectives import _wire_bytes
+
+        assert _wire_bytes(20, 3) == 14  # ceil(20 * 2/3) = 14, not 13
+        assert _wire_bytes(64, 4) == 48  # exact division unchanged
+        assert _wire_bytes(1, 2) == 1
+        assert _wire_bytes(0, 4) == 0
+        assert _wire_bytes(7, 1) == 0  # single rank moves nothing
+
 
 class TestAllGatherReduceScatter:
     def test_all_gather_replicates_concatenation(self):

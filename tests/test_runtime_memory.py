@@ -64,6 +64,17 @@ class TestMemoryPool:
         pool.free(a)
         assert pool.usage_by_tag() == {"params": 10, "act": 5}
 
+    def test_usage_by_tag_does_not_accumulate_dead_tags(self):
+        """Unique-tag alloc/free cycles (FPDT names chunks per step) must
+        not leak zero-byte entries into the per-tag breakdown."""
+        pool = MemoryPool("p")
+        for i in range(200):
+            alloc = pool.alloc(16, f"chunk:{i}")
+            pool.free(alloc)
+        assert pool.in_use == 0
+        assert pool.usage_by_tag() == {}
+        assert len(pool._usage_by_tag) == 0
+
     def test_timeline_recording(self):
         pool = MemoryPool("p", record_timeline=True)
         a = pool.alloc(10, "x")

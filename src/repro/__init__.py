@@ -24,5 +24,6 @@ __all__ = [
     "core",
     "perfmodel",
     "training",
+    "telemetry",
     "experiments",
 ]

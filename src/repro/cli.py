@@ -6,19 +6,24 @@
     python -m repro tune --model llama-8b --gpus 4 --seq 512K
     python -m repro experiment table3
     python -m repro train --steps 40
+    python -m repro train --steps 8 --run-log results/runlog.jsonl
     python -m repro profile --gpus 2 --out results/profile_trace.json
+    python -m repro metrics summary results/runlog.jsonl
+    python -m repro metrics diff results/golden_runlog.jsonl results/runlog.jsonl
 
 ``plan`` is the Table-1 question (max context per strategy), ``tune``
 the §5.3 question (which chunk size), ``experiment`` regenerates any
-paper table/figure, ``train`` runs the Fig.-14 convergence demo, and
-``profile`` replays one traced FPDT step in simulated time, printing
-overlap/MFU rollups and writing a Perfetto-loadable Chrome trace.
+paper table/figure, ``train`` runs the Fig.-14 convergence demo (or,
+with ``--run-log``, a telemetry-instrumented run that writes a JSONL
+run log), ``profile`` replays one traced FPDT step in simulated time,
+and ``metrics`` renders/diffs run logs — ``diff`` exits non-zero when
+a gated metric drifts beyond tolerance, which is the CI regression
+gate.
 """
 
 from __future__ import annotations
 
 import argparse
-import importlib
 import sys
 
 from repro.common.units import format_bytes, format_tokens, parse_tokens
@@ -97,10 +102,15 @@ def cmd_tune(args: argparse.Namespace) -> int:
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.registry import run_experiment
     from repro.experiments.report import render, save_json
 
-    module = importlib.import_module(f"repro.experiments.{args.name}")
-    result = module.run(fast=args.fast)
+    try:
+        result = run_experiment(args.name, fast=args.fast)
+    except KeyError:
+        print(f"experiment: unknown experiment {args.name!r}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 1
     print(render(result))
     if args.json:
         path = save_json(result, args.json)
@@ -154,10 +164,79 @@ def cmd_profile(args: argparse.Namespace) -> int:
 def cmd_train(args: argparse.Namespace) -> int:
     from repro.experiments.figure14 import train_curve
 
+    if args.run_log:
+        from repro.telemetry import telemetry_train_run
+
+        run = telemetry_train_run(steps=args.steps, run_log_path=args.run_log)
+        s = run.summary
+        print(
+            f"telemetry run: {s['steps']} steps, loss {s['first_loss']:.4f} "
+            f"-> {s['last_loss']:.4f}, peak HBM {format_bytes(s['peak_hbm_bytes'])}, "
+            f"collective {format_bytes(s['total_collective_bytes'])}, "
+            f"sim MFU {s['sim_mfu']:.2e}, {s['alerts']} health alerts"
+        )
+        print(f"[run log written to {args.run_log}]")
+        return 0
     for mode in ("baseline", "fpdt-offload"):
         losses = train_curve(mode, steps=args.steps)
         print(f"{mode:14s}: {losses[0]:.4f} -> {losses[-1]:.4f}")
     print("curves are numerically identical (see figure14 for the proof)")
+    return 0
+
+
+def cmd_metrics_summary(args: argparse.Namespace) -> int:
+    from repro.telemetry import read_run_log
+
+    log = read_run_log(args.path)
+    if not log.steps:
+        print(f"metrics: {args.path} has no step records", file=sys.stderr)
+        return 1
+    losses = log.losses
+    print(f"run log {args.path}: {len(log.steps)} steps")
+    print(f"  loss            {losses[0]:.4f} -> {losses[-1]:.4f}")
+    summary = log.summary or {}
+    if summary.get("final_loss") is not None:
+        print(f"  final loss      {summary['final_loss']:.4f} (tail mean)")
+    if summary.get("peak_hbm_bytes"):
+        print(f"  peak HBM        {format_bytes(summary['peak_hbm_bytes'])}")
+    if summary.get("total_collective_bytes"):
+        print(f"  collective      {format_bytes(summary['total_collective_bytes'])}")
+    if summary.get("total_h2d_bytes") or summary.get("total_d2h_bytes"):
+        print(f"  host traffic    {format_bytes(summary.get('total_h2d_bytes', 0))} h2d, "
+              f"{format_bytes(summary.get('total_d2h_bytes', 0))} d2h")
+    if summary.get("sim_mfu") is not None:
+        print(f"  simulated MFU   {summary['sim_mfu']:.2e}")
+    if summary.get("tokens_per_sec") is not None:
+        print(f"  tokens/sec      {summary['tokens_per_sec']:,.0f}")
+    print(f"  health alerts   {len(log.alerts)}")
+    for alert in log.alerts:
+        print(f"    [{alert['monitor']}] step {alert['step']}: {alert['message']}")
+    return 0
+
+
+def cmd_metrics_diff(args: argparse.Namespace) -> int:
+    from repro.telemetry import diff_paths, format_diffs
+    from repro.telemetry.gate import parse_tolerance_args
+
+    try:
+        tolerances = parse_tolerance_args(args.tol)
+    except ValueError as exc:
+        print(f"metrics diff: {exc}", file=sys.stderr)
+        return 2
+    diffs = diff_paths(
+        args.baseline, args.candidate,
+        tolerances=tolerances, default_tol=args.default_tol,
+    )
+    print(format_diffs(diffs))
+    regressed = [d for d in diffs if d.regressed]
+    if regressed:
+        print(
+            f"metrics diff: {len(regressed)} metric(s) regressed beyond "
+            f"tolerance: {', '.join(d.name for d in regressed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"metrics diff: {sum(1 for d in diffs if d.gated)} gated metric(s) ok")
     return 0
 
 
@@ -175,7 +254,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.set_defaults(fn=cmd_tune)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
-    p_exp.add_argument("name", choices=EXPERIMENTS)
+    # Validated against the registry in cmd_experiment (not argparse
+    # choices=) so an unknown name gets a one-line error + the list.
+    p_exp.add_argument("name", metavar="NAME")
     p_exp.add_argument("--fast", action="store_true", help="reduced sweep")
     p_exp.add_argument(
         "--json", metavar="DIR", default=None,
@@ -185,7 +266,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_train = sub.add_parser("train", help="convergence demo (Fig. 14)")
     p_train.add_argument("--steps", type=int, default=40)
+    p_train.add_argument(
+        "--run-log", metavar="PATH", default=None,
+        help="instead run one telemetry-instrumented FPDT-offload "
+             "training run and write its JSONL run log to PATH",
+    )
     p_train.set_defaults(fn=cmd_train)
+
+    p_met = sub.add_parser(
+        "metrics", help="render or regression-gate telemetry run logs"
+    )
+    met_sub = p_met.add_subparsers(dest="metrics_command", required=True)
+    p_sum = met_sub.add_parser("summary", help="render a JSONL run log")
+    p_sum.add_argument("path", metavar="RUNLOG")
+    p_sum.set_defaults(fn=cmd_metrics_summary)
+    p_diff = met_sub.add_parser(
+        "diff",
+        help="compare two run logs (or results/*.json files); exit 1 "
+             "when a gated metric drifts beyond its relative tolerance",
+    )
+    p_diff.add_argument("baseline", metavar="BASELINE")
+    p_diff.add_argument("candidate", metavar="CANDIDATE")
+    p_diff.add_argument(
+        "--tol", action="append", default=[], metavar="METRIC=REL",
+        help="override a per-metric relative tolerance (repeatable)",
+    )
+    p_diff.add_argument(
+        "--default-tol", type=float, default=None, metavar="REL",
+        help="also gate every shared metric without an explicit tolerance",
+    )
+    p_diff.set_defaults(fn=cmd_metrics_diff)
 
     p_prof = sub.add_parser(
         "profile", help="replay one traced FPDT step in simulated time"

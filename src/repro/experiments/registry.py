@@ -36,6 +36,18 @@ def get_experiment(name: str) -> Callable[..., ExperimentResult]:
     return module.run
 
 
+def run_experiment(name: str, **kwargs) -> ExperimentResult:
+    """Validate ``name`` against the registry and run it.
+
+    The one entry point the CLI (and scripts) should use: unknown names
+    raise ``KeyError`` listing the registry instead of surfacing a raw
+    ``ModuleNotFoundError`` from a failed import.  ``kwargs`` pass
+    through to the experiment's ``run`` (``fast=``, and ``profile=``
+    where supported).
+    """
+    return get_experiment(name)(**kwargs)
+
+
 def all_experiments() -> dict[str, Callable[..., ExperimentResult]]:
     """Every experiment's ``run`` callable, keyed by name."""
     return {name: get_experiment(name) for name in EXPERIMENT_NAMES}

@@ -167,6 +167,13 @@ class VirtualCluster:
                 t.free()
         return out
 
+    def memory_stats(self) -> dict:
+        """Per-rank HBM and host pool snapshots (one telemetry read)."""
+        return {
+            "hbm": [dev.hbm.stats() for dev in self.devices],
+            "host": self.host.pool.stats(),
+        }
+
     def peak_hbm(self) -> int:
         """Max over ranks of peak HBM bytes — the number the paper's
         memory plots report per GPU."""

@@ -152,6 +152,19 @@ class MemoryPool:
         stacked params&optimizer vs activation bars."""
         return {tag: n for tag, n in self._usage_by_tag.items() if n > 0}
 
+    def stats(self) -> dict:
+        """Snapshot of the pool's counters (telemetry step records and
+        health monitors read this instead of poking attributes)."""
+        return {
+            "name": self.name,
+            "in_use": self.in_use,
+            "peak": self.peak,
+            "capacity": self.capacity,
+            "total_allocated": self.total_allocated,
+            "n_allocs": self.n_allocs,
+            "live_tensors": len(self._live),
+        }
+
     def reset_peak(self) -> None:
         """Restart peak tracking from the current usage (used between
         forward and backward to isolate phase peaks)."""

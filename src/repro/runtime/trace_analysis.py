@@ -45,12 +45,19 @@ class TraceSummary:
         return self.total_collective_bytes / self.compute_flops
 
 
-def summarize(trace: Trace) -> TraceSummary:
-    """Aggregate a trace into a :class:`TraceSummary`."""
+def summarize(trace: Trace, *, start: int = 0, end: int | None = None) -> TraceSummary:
+    """Aggregate a trace into a :class:`TraceSummary`.
+
+    ``start``/``end`` bound the event window (list-slice semantics), so
+    callers that poll a growing trace — the per-step telemetry records
+    the trainer emits — get exact deltas without re-walking history:
+    snapshot ``len(trace.events)`` before the step, summarize from there
+    after it.
+    """
     summary = TraceSummary()
     coll_bytes: dict[str, int] = defaultdict(int)
     coll_count: dict[str, int] = defaultdict(int)
-    for event in trace.events:
+    for event in trace.events[start:end]:
         if event.kind == "collective":
             op = event.label.split(":", 1)[0]
             coll_bytes[op] += event.nbytes

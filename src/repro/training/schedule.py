@@ -35,10 +35,19 @@ def warmup_cosine_lr(
 
 
 def global_grad_norm(grads: dict[str, np.ndarray]) -> float:
-    """L2 norm over the concatenation of every gradient tensor."""
+    """L2 norm over the concatenation of every gradient tensor.
+
+    Accumulates each tensor's sum of squares in float64 via a buffered
+    ``einsum`` dot product — no float64 copy of the gradient and no
+    materialized ``g ** 2`` temporary, which matters when this runs
+    every step over full model gradients.
+    """
     total = 0.0
     for g in grads.values():
-        total += float(np.sum(np.asarray(g, dtype=float) ** 2))
+        flat = np.asarray(g).reshape(-1)
+        if flat.dtype.kind != "f":
+            flat = flat.astype(np.float64)
+        total += float(np.einsum("i,i->", flat, flat, dtype=np.float64))
     return math.sqrt(total)
 
 

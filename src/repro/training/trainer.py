@@ -10,14 +10,19 @@ the paper's Fig. 14 and the assertion of the convergence tests.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.fpdt_model import FPDTModelRunner
 from repro.models.transformer import GPTModel
+from repro.runtime.trace_analysis import summarize
+from repro.telemetry.monitors import checksum_params
+from repro.telemetry.runlog import RunLogger, StepRecord
 from repro.training.data import SyntheticCorpus, make_batch
 from repro.training.optimizer import Adam
+from repro.training.schedule import clip_grad_norm, global_grad_norm
 
 
 @dataclass
@@ -52,6 +57,14 @@ class Trainer:
         reference path runs (the "baseline w/ TP" curve of Fig. 14).
     lr:
         Adam learning rate.
+    telemetry:
+        Optional :class:`~repro.telemetry.runlog.RunLogger`; when set,
+        every step emits a structured :class:`~repro.telemetry.runlog
+        .StepRecord` — loss, lr, pre-clip grad norm, tokens, per-rank
+        HBM/host pool state, and the step's collective/H2D/D2H byte
+        deltas from the runtime trace.  The trainer only *emits*; the
+        caller finishes the log (``telemetry.finish(trainer.result)``)
+        once the run — possibly several ``train`` calls — is over.
     """
 
     def __init__(
@@ -64,11 +77,13 @@ class Trainer:
         grad_clip: float | None = None,
         lr_schedule=None,
         batch_fn=None,
+        telemetry: RunLogger | None = None,
     ):
         self.model = model
         self.corpus = corpus
         self.runner = runner
         self.grad_clip = grad_clip
+        self.telemetry = telemetry
         self.lr_schedule = lr_schedule  # callable step -> lr, or None
         # batch_fn(batch_size, seq_len) -> (tokens, labels); defaults to
         # Markov next-token batches, but any data pipeline plugs in
@@ -81,6 +96,9 @@ class Trainer:
 
     def step(self, batch_size: int, seq_len: int) -> float:
         """One optimization step; returns the step's loss."""
+        t_start = time.perf_counter()
+        trace = self.runner.cluster.trace if self.runner is not None else None
+        event_start = len(trace.events) if trace is not None else 0
         tokens, labels = self.batch_fn(batch_size, seq_len)
         if self.runner is not None:
             loss, grads = self.runner.forward_backward(tokens, labels)
@@ -89,10 +107,11 @@ class Trainer:
             self.model.backward_loss()
             grads = self.model.all_grads()
             self.model.zero_grads()
+        pre_clip_norm: float | None = None
         if self.grad_clip is not None:
-            from repro.training.schedule import clip_grad_norm
-
-            grads, _ = clip_grad_norm(grads, self.grad_clip)
+            grads, pre_clip_norm = clip_grad_norm(grads, self.grad_clip)
+        elif self.telemetry is not None:
+            pre_clip_norm = global_grad_norm(grads)
         if self.lr_schedule is not None:
             self.optimizer.lr = self.lr_schedule(len(self.result.losses))
         new_params = self.optimizer.step(self.model.all_params(), grads)
@@ -100,7 +119,49 @@ class Trainer:
             self.model.set_param(name, value)
         self.result.losses.append(loss)
         self.result.tokens_seen += batch_size * seq_len
+        if self.telemetry is not None:
+            self._emit_step_record(
+                loss, pre_clip_norm, batch_size * seq_len, event_start, t_start
+            )
         return loss
+
+    def _emit_step_record(
+        self,
+        loss: float,
+        grad_norm: float | None,
+        tokens: int,
+        event_start: int,
+        t_start: float,
+    ) -> None:
+        """Build and log the step's :class:`StepRecord` (telemetry on)."""
+        record = StepRecord(
+            step=len(self.result.losses) - 1,
+            loss=float(loss),
+            lr=float(self.optimizer.lr),
+            tokens=tokens,
+            tokens_total=self.result.tokens_seen,
+            grad_norm=grad_norm,
+            wall_time_s=time.perf_counter() - t_start,
+        )
+        world = 1
+        if self.runner is not None:
+            cluster = self.runner.cluster
+            world = cluster.world_size
+            mem = cluster.memory_stats()
+            record.hbm_live_bytes = [s["in_use"] for s in mem["hbm"]]
+            record.hbm_peak_bytes = [s["peak"] for s in mem["hbm"]]
+            record.host_live_bytes = mem["host"]["in_use"]
+            record.host_peak_bytes = mem["host"]["peak"]
+            delta = summarize(cluster.trace, start=event_start)
+            record.collective_bytes = delta.total_collective_bytes
+            record.collective_count = sum(delta.collective_count.values())
+            record.h2d_bytes = delta.h2d_bytes
+            record.d2h_bytes = delta.d2h_bytes
+        # Post-step parameters are replicated across ranks by
+        # construction here; a real deployment feeds per-rank values.
+        checksum = checksum_params(self.model.all_params())
+        record.param_checksums = {rank: checksum for rank in range(world)}
+        self.telemetry.log_step(record)
 
     def train(
         self,
@@ -125,4 +186,6 @@ class Trainer:
             from repro.profiler import profile_cluster
 
             self.result.profile = profile_cluster(self.runner.cluster)
+            if self.telemetry is not None:
+                self.telemetry.observe_profile(self.result.profile)
         return self.result

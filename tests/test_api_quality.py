@@ -12,7 +12,7 @@ import repro
 SUBPACKAGES = [
     "repro.common", "repro.hardware", "repro.runtime", "repro.models",
     "repro.parallel", "repro.core", "repro.perfmodel", "repro.training",
-    "repro.experiments",
+    "repro.experiments", "repro.profiler", "repro.telemetry",
 ]
 
 

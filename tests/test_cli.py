@@ -19,8 +19,31 @@ class TestParser:
         for name in EXPERIMENTS:
             args = build_parser().parse_args(["experiment", name])
             assert args.name == name
+
+    def test_experiment_unknown_name_lists_registry(self, capsys):
+        """Unknown names are validated against the experiments registry
+        (not argparse choices): one-line error + the list, exit 1."""
+        assert main(["experiment", "figure99"]) == 1
+        err = capsys.readouterr().err
+        assert "figure99" in err
+        assert "table1" in err and "figure14" in err
+
+    def test_metrics_parser(self):
+        args = build_parser().parse_args(["metrics", "summary", "a.jsonl"])
+        assert args.path == "a.jsonl"
+        args = build_parser().parse_args(
+            ["metrics", "diff", "a.jsonl", "b.jsonl",
+             "--tol", "final_loss=0.5", "--default-tol", "0.1"]
+        )
+        assert (args.baseline, args.candidate) == ("a.jsonl", "b.jsonl")
+        assert args.tol == ["final_loss=0.5"]
+        assert args.default_tol == 0.1
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["experiment", "figure99"])
+            build_parser().parse_args(["metrics"])  # sub-subcommand required
+
+    def test_train_run_log_flag(self):
+        args = build_parser().parse_args(["train", "--run-log", "x.jsonl"])
+        assert args.run_log == "x.jsonl"
 
     def test_profile_defaults(self):
         args = build_parser().parse_args(["profile"])

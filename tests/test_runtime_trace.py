@@ -16,6 +16,7 @@ from repro.hardware import (
     paper_node_a100_80g,
 )
 from repro.runtime import Trace, VirtualCluster
+from repro.runtime.trace_analysis import summarize
 
 
 class TestTrace:
@@ -60,6 +61,65 @@ class TestTrace:
         cluster.devices[1].compute("gemm", flops=123.0, stream="compute")
         events = cluster.trace.filter(kind="compute", rank=1)
         assert events[0].flops == 123.0
+
+
+class TestTraceSummary:
+    def test_comm_to_compute_ratio_compute_free_trace(self):
+        """A trace with communication but zero compute cannot define
+        bytes-per-FLOP — the ratio must refuse, not divide by zero."""
+        trace = Trace()
+        trace.record("collective", "all_to_all:qkv", nbytes=4096)
+        trace.record("h2d", "fetch:k", rank=0, nbytes=128)
+        summary = summarize(trace)
+        assert summary.compute_flops == 0
+        assert summary.total_collective_bytes == 4096
+        with pytest.raises(ValueError, match="no compute"):
+            summary.comm_to_compute_ratio()
+
+    def test_empty_trace_summary(self):
+        summary = summarize(Trace())
+        assert summary.total_collective_bytes == 0
+        assert summary.host_traffic_bytes == 0
+        with pytest.raises(ValueError):
+            summary.comm_to_compute_ratio()
+
+    def test_wait_and_phase_interleaved_with_transfers(self):
+        """wait/phase markers carry no bytes and must not perturb the
+        transfer accounting they are interleaved with."""
+        trace = Trace()
+        trace.mark_phase("forward")
+        trace.record("d2h", "offload:k0", rank=0, stream="d2h", nbytes=256)
+        trace.record("h2d", "fetch:k0", rank=0, stream="h2d-prefetch", nbytes=256)
+        trace.record("wait", "wait:k0", rank=0)
+        trace.record("compute", "attn", rank=0, flops=1e6)
+        trace.mark_phase("backward")
+        trace.record("h2d", "fetch:k0", rank=0, stream="h2d-prefetch", nbytes=256)
+        trace.record("wait", "wait:k0", rank=0)
+        trace.record("collective", "all_to_all:grad", nbytes=512)
+        summary = summarize(trace)
+        assert summary.phases == ["forward", "backward"]
+        assert summary.wait_count == 2
+        assert summary.h2d_bytes == 512 and summary.h2d_count == 2
+        assert summary.d2h_bytes == 256 and summary.d2h_count == 1
+        assert summary.collective_bytes == {"all_to_all": 512}
+        assert summary.collective_count == {"all_to_all": 1}
+        assert summary.host_traffic_bytes == 768
+        assert summary.comm_to_compute_ratio() == pytest.approx(512 / 1e6)
+
+    def test_summarize_event_window_deltas(self):
+        """start/end slicing gives exact per-step deltas on a growing
+        trace (what the trainer's telemetry records use)."""
+        trace = Trace()
+        trace.record("collective", "all_to_all:a", nbytes=100)
+        mark = len(trace.events)
+        trace.record("collective", "all_to_all:b", nbytes=23)
+        trace.record("h2d", "fetch:x", rank=0, nbytes=7)
+        delta = summarize(trace, start=mark)
+        assert delta.total_collective_bytes == 23
+        assert delta.h2d_bytes == 7
+        head = summarize(trace, start=0, end=mark)
+        assert head.total_collective_bytes == 100
+        assert head.h2d_count == 0
 
 
 class TestClusterWithSpec:

@@ -1,5 +1,7 @@
 """Serialization, LR schedules and gradient clipping."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -49,6 +51,36 @@ class TestClipping:
     def test_norm_computation(self):
         grads = {"a": np.array([3.0]), "b": np.array([4.0])}
         assert global_grad_norm(grads) == pytest.approx(5.0)
+
+    def test_norm_pins_float64_reference_value(self):
+        """The buffered-accumulation implementation must reproduce the
+        naive cast-everything-to-float64 value (the previous
+        implementation) on mixed-dtype, mixed-scale gradients."""
+        grads = {
+            "w": (rng(0).standard_normal((64, 33)) * 1e3).astype(np.float32),
+            "b": (rng(1).standard_normal(129) * 1e-4).astype(np.float32),
+            "h": rng(2).standard_normal((7, 5, 3)).astype(np.float16),
+            "d": rng(3).standard_normal(41),  # float64
+            "i": np.arange(-5, 6),  # integer grads stay supported
+        }
+        reference = math.sqrt(sum(
+            float(np.sum(np.asarray(g, dtype=float) ** 2))
+            for g in grads.values()
+        ))
+        assert global_grad_norm(grads) == pytest.approx(reference, rel=1e-12)
+
+    def test_norm_accumulates_in_float64(self):
+        """float32 pairwise round-off must not leak into the result:
+        many identical small squares sum exactly in float64."""
+        grads = {"g": np.full(1 << 16, 1e-4, dtype=np.float32)}
+        expected = math.sqrt((1 << 16) * float(np.float32(1e-4)) ** 2)
+        assert global_grad_norm(grads) == pytest.approx(expected, rel=1e-12)
+
+    def test_norm_non_contiguous_gradient(self):
+        base = rng(4).standard_normal((8, 8)).astype(np.float32)
+        view = base[::2, ::2]
+        expected = global_grad_norm({"g": np.ascontiguousarray(view)})
+        assert global_grad_norm({"g": view}) == pytest.approx(expected, rel=1e-12)
 
     def test_no_clip_below_threshold(self):
         grads = {"a": np.array([0.3, 0.4])}

@@ -17,7 +17,10 @@ from repro.models.attention import (
 from repro.parallel import ulysses_block_forward
 from repro.core import ChunkLayout, fpdt_block_forward
 from repro.core.chunking import shard_sequence
-from repro.runtime import VirtualCluster
+from repro.runtime import VirtualCluster, fast_path
+from repro.runtime.collectives import all_to_all
+from repro.runtime.device import as_device_tensors
+from repro.common.dtypes import DType
 
 
 def _qkv(s=256, h=8, d=32, seed=0):
@@ -65,3 +68,33 @@ def test_distributed_block_forward(benchmark, mode):
 
     result = benchmark(step)
     assert result is not None
+
+
+@pytest.mark.parametrize("enabled", [True, False], ids=["fast-path", "no-arena"])
+def test_all_to_all_fast_path(benchmark, enabled):
+    """The zero-copy collective path vs plain allocation.  Both sides of
+    the comparison are bitwise-identical (the fuzz tests assert it); the
+    delta here is pure allocator traffic."""
+    rng = np.random.default_rng(0)
+    arrays = [rng.standard_normal((1, 256, 8, 64)) for _ in range(4)]
+
+    with fast_path(enabled):
+        cluster = VirtualCluster(4)
+
+        def step():
+            ts = as_device_tensors(cluster, arrays, DType.BF16, "bench")
+            for t in all_to_all(cluster, ts, split_axis=2, concat_axis=1):
+                t.release()
+
+        benchmark(step)
+
+
+@pytest.mark.parametrize("enabled", [True, False], ids=["fast-path", "no-arena"])
+def test_online_attention_fast_path(benchmark, enabled):
+    """Workspace-arena attention blocks vs fresh einsum temporaries."""
+    q, k, v = _qkv(s=512)
+    with fast_path(enabled):
+        o, _ = benchmark(
+            lambda: online_attention_forward(q, k, v, block_q=128, block_k=128)
+        )
+    assert o.shape == q.shape

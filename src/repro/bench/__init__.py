@@ -1,0 +1,30 @@
+"""Kernel microbenchmarks and the wall-clock regression gate.
+
+``repro bench`` times the runtime's hot kernels — collectives and the
+chunked-attention paths — at fixed seeds and sizes, writes the results
+to ``results/BENCH_kernels.json``, and diffs them against a committed
+baseline with relative tolerances, failing on wall-clock regressions.
+The committed baseline was captured from the pre-fast-path kernels, so
+the JSON doubles as the record of the fast path's speedups.
+"""
+
+from repro.bench.kernels import BENCH_CASES, BenchCase
+from repro.bench.runner import (
+    BenchDiff,
+    diff_results,
+    format_report,
+    load_results,
+    run_suite,
+    save_results,
+)
+
+__all__ = [
+    "BENCH_CASES",
+    "BenchCase",
+    "BenchDiff",
+    "diff_results",
+    "format_report",
+    "load_results",
+    "run_suite",
+    "save_results",
+]

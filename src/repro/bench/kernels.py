@@ -1,0 +1,249 @@
+"""The microbenchmark cases: one per hot kernel.
+
+Each :class:`BenchCase` builds its workload once (seeded, fixed sizes)
+and returns a zero-arg closure that the runner times.  The closure runs
+the kernel through the same public entry points the training loop uses,
+so whatever the fast path does to the internals is exactly what gets
+measured.  State (cluster, input arrays) persists across repeats on
+purpose: steady-state reuse is the behaviour the arena optimizes, and a
+cold-allocator measurement would benchmark ``mmap`` instead of us.
+
+Sizes are picked so one repeat is a few milliseconds — large enough
+that buffer traffic dominates Python dispatch, small enough that the
+full suite stays under a minute.  Full-mode collective payloads are
+sized *above the allocator's dynamic mmap threshold* (glibc caps it at
+32 MiB): past that point every fresh receive buffer is a new mapping
+the kernel must zero-fault in, which is exactly the cost the arena's
+warm buffers avoid — and the regime FPDT targets, where per-rank
+activations are hundreds of MB.  Below it, glibc recycles the heap and
+a single-copy exchange is bandwidth-bound either way.  ``quick`` mode
+shrinks both sizes and repeat counts for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.common.dtypes import DType
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One timed kernel.
+
+    ``build(quick)`` performs all setup and returns the closure to time;
+    ``repeats``/``warmup`` are per-mode (full, quick) iteration counts.
+    """
+
+    name: str
+    group: str  # "collective" | "attention"
+    build: Callable[[bool], Callable[[], None]]
+    repeats: tuple[int, int] = (20, 5)
+    warmup: tuple[int, int] = (3, 1)
+
+
+def _collective_setup(quick: bool, world: int = 4):
+    from repro.runtime.device import VirtualCluster, as_device_tensors
+
+    rng = np.random.default_rng(0)
+    # Full mode: 32 MiB+ per rank (see module docstring); quick: 1 MiB.
+    shape = (1, 256, 8, 64) if quick else (8, 1024, 8, 64)
+    arrays = [rng.standard_normal(shape) for _ in range(world)]
+    cluster = VirtualCluster(world)
+
+    def register():
+        return as_device_tensors(cluster, arrays, DType.BF16, "bench")
+
+    return cluster, register
+
+
+def _drop(outputs) -> None:
+    """Discard collective outputs the way a consumer that is done with
+    them would, so arena-owned buffers return to the free list."""
+    for t in outputs:
+        release = getattr(t, "release", None)
+        if release is not None:
+            release()
+        else:  # pragma: no cover - pre-release() compatibility
+            t.free()
+
+
+def _bench_all_to_all(quick: bool) -> Callable[[], None]:
+    from repro.runtime.collectives import all_to_all
+
+    cluster, register = _collective_setup(quick)
+
+    def run() -> None:
+        _drop(all_to_all(cluster, register(), split_axis=2, concat_axis=1))
+
+    return run
+
+
+def _bench_all_gather(quick: bool) -> Callable[[], None]:
+    from repro.runtime.collectives import all_gather
+
+    cluster, register = _collective_setup(quick)
+
+    def run() -> None:
+        _drop(all_gather(cluster, register(), axis=1))
+
+    return run
+
+
+def _bench_reduce_scatter(quick: bool) -> Callable[[], None]:
+    from repro.runtime.collectives import reduce_scatter
+
+    cluster, register = _collective_setup(quick)
+
+    def run() -> None:
+        _drop(reduce_scatter(cluster, register(), axis=1))
+
+    return run
+
+
+def _bench_all_reduce(quick: bool) -> Callable[[], None]:
+    from repro.runtime.collectives import all_reduce
+
+    cluster, register = _collective_setup(quick)
+
+    def run() -> None:
+        _drop(all_reduce(cluster, register()))
+
+    return run
+
+
+def _bench_ring_shift(quick: bool) -> Callable[[], None]:
+    from repro.runtime.collectives import ring_shift
+
+    cluster, register = _collective_setup(quick)
+
+    def run() -> None:
+        _drop(ring_shift(cluster, register()))
+
+    return run
+
+
+def _bench_hierarchical_all_to_all(quick: bool) -> Callable[[], None]:
+    from repro.runtime.collectives import hierarchical_all_to_all
+
+    cluster, register = _collective_setup(quick)
+
+    def run() -> None:
+        _drop(
+            hierarchical_all_to_all(
+                cluster, register(), split_axis=2, concat_axis=1, gpus_per_node=2
+            )
+        )
+
+    return run
+
+
+def _attention_inputs(quick: bool):
+    rng = np.random.default_rng(1)
+    b, s, h, d = (1, 256, 4, 64) if quick else (1, 1024, 8, 64)
+    q = rng.standard_normal((b, s, h, d))
+    k = rng.standard_normal((b, s, h, d))
+    v = rng.standard_normal((b, s, h, d))
+    return q, k, v, 1.0 / np.sqrt(d)
+
+
+def _bench_attention_forward_block(quick: bool) -> Callable[[], None]:
+    from repro.models.attention import OnlineSoftmaxState, finalize_online, online_block_update
+
+    q, k, v, scale = _attention_inputs(quick)
+    b, s, h, d = q.shape
+
+    def run() -> None:
+        state = OnlineSoftmaxState.zeros(b, s, h, d)
+        online_block_update(state, q, k, v, scale=scale, q_offset=s, k_offset=0)
+        online_block_update(state, q, k, v, scale=scale, q_offset=s, k_offset=s)
+        finalize_online(state)
+
+    return run
+
+
+def _bench_attention_backward_block(quick: bool) -> Callable[[], None]:
+    from repro.models.attention import (
+        OnlineSoftmaxState,
+        attention_block_backward,
+        compute_delta,
+        finalize_online,
+        online_block_update,
+    )
+
+    q, k, v, scale = _attention_inputs(quick)
+    b, s, h, d = q.shape
+    state = OnlineSoftmaxState.zeros(b, s, h, d)
+    online_block_update(state, q, k, v, scale=scale, q_offset=0, k_offset=0)
+    o, lse = finalize_online(state)
+    rng = np.random.default_rng(2)
+    do = rng.standard_normal(o.shape)
+    delta = compute_delta(o, do)
+
+    def run() -> None:
+        attention_block_backward(
+            q, k, v, do, lse, delta, scale=scale, q_offset=0, k_offset=0
+        )
+
+    return run
+
+
+def _fpdt_setup(quick: bool):
+    from repro.core.chunking import ChunkLayout
+    from repro.runtime.device import VirtualCluster
+
+    world, u = 2, 4
+    chunk_len = 64 if quick else 512
+    layout = ChunkLayout(s_global=chunk_len * world * u, world=world, num_chunks=u)
+    b, h, d = 1, 8, 64
+    rng = np.random.default_rng(3)
+
+    def chunks():
+        return [
+            [rng.standard_normal((b, chunk_len, h, d)) for _ in range(u)]
+            for _ in range(world)
+        ]
+
+    cluster = VirtualCluster(world)
+    return cluster, layout, chunks(), chunks(), chunks(), chunks()
+
+
+def _bench_fpdt_forward(quick: bool) -> Callable[[], None]:
+    from repro.core.fpdt_attention import fpdt_attention_forward
+
+    cluster, layout, q, k, v, _ = _fpdt_setup(quick)
+
+    def run() -> None:
+        _, ctx = fpdt_attention_forward(cluster, layout, q, k, v, offload=True)
+        ctx.release()
+
+    return run
+
+
+def _bench_fpdt_fwd_bwd(quick: bool) -> Callable[[], None]:
+    from repro.core.fpdt_attention import fpdt_attention_backward, fpdt_attention_forward
+
+    cluster, layout, q, k, v, do = _fpdt_setup(quick)
+
+    def run() -> None:
+        _, ctx = fpdt_attention_forward(cluster, layout, q, k, v, offload=True)
+        fpdt_attention_backward(cluster, ctx, do)
+
+    return run
+
+
+BENCH_CASES: list[BenchCase] = [
+    BenchCase("all_to_all", "collective", _bench_all_to_all),
+    BenchCase("all_gather", "collective", _bench_all_gather),
+    BenchCase("reduce_scatter", "collective", _bench_reduce_scatter),
+    BenchCase("all_reduce", "collective", _bench_all_reduce),
+    BenchCase("ring_shift", "collective", _bench_ring_shift),
+    BenchCase("hierarchical_all_to_all", "collective", _bench_hierarchical_all_to_all),
+    BenchCase("attention_forward_block", "attention", _bench_attention_forward_block),
+    BenchCase("attention_backward_block", "attention", _bench_attention_backward_block),
+    BenchCase("fpdt_attention_forward", "attention", _bench_fpdt_forward, repeats=(5, 3)),
+    BenchCase("fpdt_attention_fwd_bwd", "attention", _bench_fpdt_fwd_bwd, repeats=(5, 3)),
+]

@@ -184,6 +184,59 @@ def cmd_train(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import (
+        diff_results, format_report, load_results, run_suite, save_results,
+    )
+    from repro.bench.runner import DEFAULT_TOL, attach_baseline
+
+    if args.tol is None:
+        args.tol = DEFAULT_TOL
+    if args.baseline is None:
+        args.baseline = (
+            "results/BENCH_kernels_baseline_quick.json"
+            if args.quick else "results/BENCH_kernels_baseline.json"
+        )
+    mode = "quick" if args.quick else "full"
+    print(f"running kernel microbenchmarks ({mode} mode):")
+    doc = run_suite(quick=args.quick, echo=print)
+
+    if args.update_baseline:
+        path = save_results(doc, args.baseline)
+        print(f"[baseline written to {path}]")
+        return 0
+
+    if not Path(args.baseline).exists():
+        print(f"bench: no baseline at {args.baseline}", file=sys.stderr)
+        if not args.no_gate:
+            print("bench: run with --update-baseline to record one", file=sys.stderr)
+            return 2
+        save_results(doc, args.out)
+        print(f"[results written to {args.out}]")
+        return 0
+
+    try:
+        diffs = diff_results(load_results(args.baseline), doc, tol=args.tol)
+    except ValueError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    path = save_results(attach_baseline(doc, diffs), args.out)
+    print(format_report(diffs))
+    print(f"[results written to {path}]")
+    regressed = [d for d in diffs if d.regressed]
+    if regressed and not args.no_gate:
+        print(
+            f"bench: {len(regressed)} kernel(s) regressed beyond {args.tol}x "
+            f"of baseline: {', '.join(d.name for d in regressed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench: {sum(1 for d in diffs if d.baseline is not None)} gated kernel(s) ok")
+    return 0
+
+
 def cmd_metrics_summary(args: argparse.Namespace) -> int:
     from repro.telemetry import read_run_log
 
@@ -296,6 +349,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="also gate every shared metric without an explicit tolerance",
     )
     p_diff.set_defaults(fn=cmd_metrics_diff)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="time the hot kernels and gate against the committed baseline",
+    )
+    p_bench.add_argument(
+        "--quick", action="store_true",
+        help="smaller sizes and fewer repeats (CI smoke mode)",
+    )
+    p_bench.add_argument(
+        "--out", default="results/BENCH_kernels.json", metavar="PATH",
+        help="where to write the results JSON",
+    )
+    p_bench.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline JSON to gate against (default depends on --quick)",
+    )
+    p_bench.add_argument(
+        "--tol", type=float, default=None, metavar="REL",
+        help="fail when current > baseline * REL (default 2.0)",
+    )
+    p_bench.add_argument(
+        "--update-baseline", action="store_true",
+        help="record this run as the new baseline instead of gating",
+    )
+    p_bench.add_argument(
+        "--no-gate", action="store_true",
+        help="report the diff but never fail",
+    )
+    p_bench.set_defaults(fn=cmd_bench)
 
     p_prof = sub.add_parser(
         "profile", help="replay one traced FPDT step in simulated time"

@@ -45,6 +45,8 @@ from repro.models.attention import (
     compute_delta,
     finalize_online,
     online_block_update,
+    workspace_rent,
+    workspace_return,
 )
 from repro.runtime.collectives import all_to_all
 from repro.runtime.device import VirtualCluster, as_device_tensors
@@ -289,6 +291,13 @@ def fpdt_attention_backward(
     dk_local: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
     dv_local: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
 
+    # One preallocated (dq, dk, dv) destination trio for every block
+    # backward of the nested loop — the kernel overwrites them, the
+    # accumulations below read them out, no per-block gradient allocs.
+    dq_ws = workspace_rent((b, big_c, h_local, d))
+    dk_ws = workspace_rent((b, big_c, h_local, d))
+    dv_ws = workspace_rent((b, big_c, h_local, d))
+
     ahead = prefetch_depth >= 2  # see the forward: depth 1 cannot overlap
     for j in range(u):  # outer loop: KV chunks
         k_off = layout.gathered_offset(j)
@@ -350,6 +359,7 @@ def fpdt_attention_backward(
                 dq_p, dk_p, dv_p = attention_block_backward(
                     q_arr, k_arr, v_arr, do_arr, ctx.lse[r][i], deltas[r][i],
                     scale=scale, q_offset=q_off, k_offset=k_off, window=window,
+                    dq_out=dq_ws, dk_out=dk_ws, dv_out=dv_ws,
                 )
                 cluster.devices[r].compute(
                     "fpdt.attn_bwd",
@@ -388,5 +398,8 @@ def fpdt_attention_backward(
         for r in range(world):
             dq_host[r][j] = None  # release the host accumulator
 
+    workspace_return(dq_ws)
+    workspace_return(dk_ws)
+    workspace_return(dv_ws)
     ctx.release()
     return dq_local, dk_local, dv_local

@@ -143,9 +143,12 @@ def fpdt_block_forward(
         mid = np.empty_like(x_shards[r])
         for i in range(u):
             sl = layout.local_slice(i)
-            y_chunk, cache = attn_post_forward(params, x_shards[r][:, sl], o_chunks[r][i])
+            # The projection writes straight into the chunk's view of the
+            # assembled shard — no per-chunk result array + copy-back.
+            _, cache = attn_post_forward(
+                params, x_shards[r][:, sl], o_chunks[r][i], y_out=mid[:, sl]
+            )
             post_caches[r][i] = cache
-            mid[:, sl] = y_chunk
             cluster.devices[r].compute(
                 "fpdt.out_proj_fwd",
                 flops=_out_proj_flops(cfg, batch, sl.stop - sl.start),
@@ -159,9 +162,10 @@ def fpdt_block_forward(
     for r in range(world):
         y = np.empty_like(mid_shards[r])
         for lo, hi in _ffn_bounds(layout.s_local, ffn_chunks):
-            y_chunk, cache = ffn_forward(params, cfg, mid_shards[r][:, lo:hi])
+            _, cache = ffn_forward(
+                params, cfg, mid_shards[r][:, lo:hi], y_out=y[:, lo:hi]
+            )
             ffn_caches[r].append(cache)
-            y[:, lo:hi] = y_chunk
             cluster.devices[r].compute(
                 "fpdt.ffn_fwd", flops=_ffn_flops(cfg, batch, hi - lo), nbytes=(hi - lo)
             )
@@ -240,7 +244,7 @@ def fpdt_block_backward(
                 ctx.pre_caches[r][i],
             )
             accumulate_grads(grads, g)
-            dx[:, sl] = dres_chunks[r][i] + dx_pre
+            np.add(dres_chunks[r][i], dx_pre, out=dx[:, sl])
             cluster.devices[r].compute(
                 "fpdt.qkv_proj_bwd",
                 flops=2.0 * _qkv_proj_flops(cfg, batch, sl.stop - sl.start),

@@ -16,6 +16,15 @@ k_offset)`` so the causal mask stays exact when FPDT processes chunk
 pairs off the diagonal (the Fig. 6 discussion).  All shapes are
 ``[b, s, h, d]``; GQA inputs must be expanded with
 :func:`repro.models.layers.repeat_kv` before these kernels.
+
+The contractions run through :func:`repro.common.einsum_cache
+.cached_einsum` (memoized ``np.einsum_path``, matmul ``out=``
+destinations), and the block kernels draw their score/output scratch
+from a module-level :class:`~repro.runtime.arena.BufferArena` when the
+fast path is on — steady-state chunk loops reuse the same few warm
+buffers instead of allocating per block.  Scratch is fully overwritten
+before every read, so the fast path changes where the bytes live, never
+what they are: outputs are bit-identical with the switch on or off.
 """
 
 from __future__ import annotations
@@ -24,7 +33,35 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.common.einsum_cache import cached_einsum
 from repro.common.errors import ShapeError
+from repro.runtime.arena import BufferArena, fast_path_enabled
+
+#: Scratch buffers for the block kernels (scores, probability blocks,
+#: PV partials).  One process-wide arena: the kernels are pure NumPy and
+#: not tied to a device pool; accounting is unaffected (kernel-internal
+#: scratch is modeled analytically, see repro.perfmodel.memory_model).
+_WORKSPACE = BufferArena("attention.workspace", max_per_key=16)
+
+
+def workspace_rent(shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+    """An uninitialized scratch buffer — arena-warm when the fast path
+    is on, a fresh allocation otherwise.  Callers must fully overwrite
+    it before reading and give it back with :func:`workspace_return`."""
+    if fast_path_enabled():
+        return _WORKSPACE.rent(shape, dtype)
+    return np.empty(shape, np.dtype(dtype))
+
+
+def workspace_return(array: np.ndarray) -> None:
+    """Return a rented scratch buffer (no-op with the fast path off)."""
+    if fast_path_enabled():
+        _WORKSPACE.giveback(array)
+
+
+def workspace_stats() -> dict:
+    """Counters of the attention scratch arena (telemetry reads this)."""
+    return _WORKSPACE.stats()
 
 # ----------------------------------------------------------------------
 # Reference (quadratic-memory) attention
@@ -84,7 +121,7 @@ def attention_forward_reference(
     if window is not None and not causal:
         raise ShapeError("window requires causal attention")
     scale = scale if scale is not None else 1.0 / np.sqrt(q.shape[-1])
-    scores = np.einsum("bqhd,bkhd->bhqk", q, k) * scale
+    scores = cached_einsum("bqhd,bkhd->bhqk", q, k) * scale
     if causal:
         bias = _causal_bias(q.shape[1], k.shape[1], 0, 0, window)
         if bias is not None:
@@ -92,7 +129,7 @@ def attention_forward_reference(
     scores -= scores.max(axis=-1, keepdims=True)
     probs = np.exp(scores)
     probs /= probs.sum(axis=-1, keepdims=True)
-    o = np.einsum("bhqk,bkhd->bqhd", probs, v)
+    o = cached_einsum("bhqk,bkhd->bqhd", probs, v)
     return o, (q, k, v, probs, scale)
 
 
@@ -101,12 +138,12 @@ def attention_backward_reference(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Exact attention backward; returns ``(dq, dk, dv)``."""
     q, k, v, probs, scale = cache
-    dv = np.einsum("bhqk,bqhd->bkhd", probs, do)
-    dprobs = np.einsum("bqhd,bkhd->bhqk", do, v)
+    dv = cached_einsum("bhqk,bqhd->bkhd", probs, do)
+    dprobs = cached_einsum("bqhd,bkhd->bhqk", do, v)
     # softmax backward: ds = p * (dp - sum(dp * p))
     dscores = probs * (dprobs - (dprobs * probs).sum(axis=-1, keepdims=True))
-    dq = np.einsum("bhqk,bkhd->bqhd", dscores, k) * scale
-    dk = np.einsum("bhqk,bqhd->bkhd", dscores, q) * scale
+    dq = cached_einsum("bhqk,bkhd->bqhd", dscores, k) * scale
+    dk = cached_einsum("bhqk,bqhd->bkhd", dscores, q) * scale
     return dq, dk, dv
 
 
@@ -165,22 +202,32 @@ def online_block_update(
             f"causal online update got a fully-invisible block: "
             f"q_offset={q_offset}, k_offset={k_offset}, window={window}"
         )
-    scores = np.einsum("bqhd,bkhd->bhqk", q, k_blk) * scale
+    b, sq, h, _ = q.shape
+    sk = k_blk.shape[1]
+    scores = workspace_rent((b, h, sq, sk), np.result_type(q.dtype, k_blk.dtype))
+    cached_einsum("bqhd,bkhd->bhqk", q, k_blk, out=scores)
+    scores *= scale
     if causal:
-        bias = _causal_bias(q.shape[1], k_blk.shape[1], q_offset, k_offset, window)
+        bias = _causal_bias(sq, sk, q_offset, k_offset, window)
         if bias is not None:
-            scores = scores + bias
+            scores += bias
     m_new = np.maximum(state.m, scores.max(axis=-1))
     # Rows that have seen nothing yet (m_new == -inf: fully-masked so far,
     # e.g. an unaligned block straddling the diagonal) must pass through
     # untouched; substitute a finite max so exp() yields exact zeros.
     safe_m = np.where(np.isneginf(m_new), 0.0, m_new)
-    p = np.exp(scores - safe_m[..., None])
+    scores -= safe_m[..., None]
+    p = np.exp(scores, out=scores)
     correction = np.where(np.isneginf(state.m), 0.0, np.exp(state.m - safe_m))
-    state.l = state.l * correction + p.sum(axis=-1)
-    pv = np.einsum("bhqk,bkhd->bqhd", p, v_blk)
-    state.acc = state.acc * correction.transpose(0, 2, 1)[..., None] + pv
+    state.l *= correction
+    state.l += p.sum(axis=-1)
+    pv = workspace_rent(state.acc.shape, state.acc.dtype)
+    cached_einsum("bhqk,bkhd->bqhd", p, v_blk, out=pv)
+    state.acc *= correction.transpose(0, 2, 1)[..., None]
+    state.acc += pv
     state.m = m_new
+    workspace_return(pv)
+    workspace_return(scores)
     return state
 
 
@@ -213,6 +260,9 @@ def attention_block_backward(
     q_offset: int = 0,
     k_offset: int = 0,
     window: int | None = None,
+    dq_out: np.ndarray | None = None,
+    dk_out: np.ndarray | None = None,
+    dv_out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Gradient contribution of one (query-block, KV-block) pair.
 
@@ -221,23 +271,39 @@ def attention_block_backward(
     Returns partial ``(dq, dk_blk, dv_blk)`` to be accumulated by the
     caller — FPDT's nested backward loop (Fig. 7) accumulates ``dk/dv``
     over the inner (query) loop and ``dq`` over the outer (KV) loop.
+
+    ``dq_out``/``dk_out``/``dv_out`` are optional preallocated
+    destinations (fully overwritten, then returned); loops pass the same
+    trio every iteration so no per-block gradient buffers are allocated.
+    They must not alias ``q``/``k_blk``/``v_blk``/``do``.
     """
     _check_qkv(q, k_blk, v_blk)
     if causal and not block_is_visible(
         q.shape[1], k_blk.shape[1], q_offset, k_offset, window
     ):
         raise ShapeError("causal block backward got a fully-invisible block")
-    scores = np.einsum("bqhd,bkhd->bhqk", q, k_blk) * scale
+    b, sq, h, _ = q.shape
+    sk = k_blk.shape[1]
+    scores = workspace_rent((b, h, sq, sk), np.result_type(q.dtype, k_blk.dtype))
+    cached_einsum("bqhd,bkhd->bhqk", q, k_blk, out=scores)
+    scores *= scale
     if causal:
-        bias = _causal_bias(q.shape[1], k_blk.shape[1], q_offset, k_offset, window)
+        bias = _causal_bias(sq, sk, q_offset, k_offset, window)
         if bias is not None:
-            scores = scores + bias
-    p = np.exp(scores - lse[..., None])  # masked entries: exp(-inf) = 0
-    dv = np.einsum("bhqk,bqhd->bkhd", p, do)
-    dp = np.einsum("bqhd,bkhd->bhqk", do, v_blk)
-    ds = p * (dp - delta[..., None])
-    dq = np.einsum("bhqk,bkhd->bqhd", ds, k_blk) * scale
-    dk = np.einsum("bhqk,bqhd->bkhd", ds, q) * scale
+            scores += bias
+    scores -= lse[..., None]
+    p = np.exp(scores, out=scores)  # masked entries: exp(-inf) = 0
+    dv = cached_einsum("bhqk,bqhd->bkhd", p, do, out=dv_out)
+    dp = workspace_rent(p.shape, p.dtype)
+    cached_einsum("bqhd,bkhd->bhqk", do, v_blk, out=dp)
+    dp -= delta[..., None]
+    ds = np.multiply(p, dp, out=dp)
+    dq = cached_einsum("bhqk,bkhd->bqhd", ds, k_blk, out=dq_out)
+    dq *= scale
+    dk = cached_einsum("bhqk,bqhd->bkhd", ds, q, out=dk_out)
+    dk *= scale
+    workspace_return(dp)
+    workspace_return(scores)
     return dq, dk, dv
 
 

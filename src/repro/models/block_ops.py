@@ -56,7 +56,7 @@ def accumulate_grads(into: Grads, new: Grads) -> None:
     """
     for key, val in new.items():
         if key in into:
-            into[key] = into[key] + val
+            into[key] += val
         else:
             into[key] = np.array(val, copy=True)
 
@@ -138,12 +138,23 @@ def attn_pre_backward(
 
 
 def attn_post_forward(
-    params: Params, x: np.ndarray, o: np.ndarray
+    params: Params, x: np.ndarray, o: np.ndarray, *, y_out: np.ndarray | None = None
 ) -> tuple[np.ndarray, dict]:
-    """``y = x + Wo @ merge_heads(o)``; ``o`` is ``[b, s, H, d]``."""
+    """``y = x + Wo @ merge_heads(o)``; ``o`` is ``[b, s, H, d]``.
+
+    ``y_out`` is an optional preallocated destination for ``y`` (chunked
+    callers pass the chunk's view of the assembled shard).  It is fully
+    overwritten and must not alias ``x`` or ``o``.
+    """
     merged = merge_heads(o)
-    out, o_cache = linear_forward(merged, params["attn.wo"], params.get("attn.bo"))
-    return x + out, {"o": o_cache, "heads": o.shape[2]}
+    out, o_cache = linear_forward(
+        merged, params["attn.wo"], params.get("attn.bo"), out=y_out
+    )
+    cache = {"o": o_cache, "heads": o.shape[2]}
+    if y_out is None:
+        return x + out, cache
+    out += x
+    return out, cache
 
 
 def attn_post_backward(dy: np.ndarray, cache: dict) -> tuple[np.ndarray, np.ndarray, Grads]:
@@ -164,13 +175,19 @@ def attn_post_backward(dy: np.ndarray, cache: dict) -> tuple[np.ndarray, np.ndar
 # ----------------------------------------------------------------------
 
 
-def ffn_forward(params: Params, cfg: ModelConfig, x: np.ndarray) -> tuple[np.ndarray, dict]:
-    """Norm + MLP + residual, token-local (both GPT and SwiGLU forms)."""
+def ffn_forward(
+    params: Params, cfg: ModelConfig, x: np.ndarray, *, y_out: np.ndarray | None = None
+) -> tuple[np.ndarray, dict]:
+    """Norm + MLP + residual, token-local (both GPT and SwiGLU forms).
+
+    ``y_out`` is an optional preallocated destination for the result; it
+    is fully overwritten and must not alias ``x``.
+    """
     if cfg.arch == "gpt":
         normed, norm_cache = layernorm_forward(x, params["ln2.gamma"], params["ln2.beta"])
         h1, c1 = linear_forward(normed, params["ffn.w1"], params["ffn.b1"])
         act, act_cache = gelu_forward(h1)
-        out, c2 = linear_forward(act, params["ffn.w2"], params["ffn.b2"])
+        out, c2 = linear_forward(act, params["ffn.w2"], params["ffn.b2"], out=y_out)
         cache = {"norm": norm_cache, "c1": c1, "act": act_cache, "c2": c2, "gpt": True}
     else:
         normed, norm_cache = rmsnorm_forward(x, params["ln2.gamma"])
@@ -178,12 +195,15 @@ def ffn_forward(params: Params, cfg: ModelConfig, x: np.ndarray) -> tuple[np.nda
         up, cu = linear_forward(normed, params["ffn.w_up"])
         sgate, act_cache = silu_forward(gate)
         prod = sgate * up
-        out, cd = linear_forward(prod, params["ffn.w_down"])
+        out, cd = linear_forward(prod, params["ffn.w_down"], out=y_out)
         cache = {
             "norm": norm_cache, "cg": cg, "cu": cu, "act": act_cache,
             "sgate": sgate, "up": up, "cd": cd, "gpt": False,
         }
-    return x + out, cache
+    if y_out is None:
+        return x + out, cache
+    out += x
+    return out, cache
 
 
 def ffn_backward(dy: np.ndarray, cache: dict) -> tuple[np.ndarray, Grads]:

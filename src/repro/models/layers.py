@@ -23,21 +23,38 @@ import numpy as np
 
 
 def linear_forward(
-    x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None
+    x: np.ndarray,
+    weight: np.ndarray,
+    bias: np.ndarray | None = None,
+    *,
+    out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, tuple]:
-    """``y = x @ W + b`` over the last axis.  ``W`` is ``[in, out]``."""
-    y = x @ weight
+    """``y = x @ W + b`` over the last axis.  ``W`` is ``[in, out]``.
+
+    ``out`` is an optional preallocated destination (e.g. a chunk view of
+    the assembled shard); it is fully overwritten and must not alias
+    ``x``.  The matmul streams into it directly, so chunked callers skip
+    the allocate-then-copy round trip.
+    """
+    y = np.matmul(x, weight, out=out)
     if bias is not None:
-        y = y + bias
+        y += bias
     return y, (x, weight, bias is not None)
 
 
 def linear_backward(
-    dy: np.ndarray, cache: tuple
+    dy: np.ndarray,
+    cache: tuple,
+    *,
+    dx_out: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
-    """Returns ``(dx, dW, db)``; ``db`` is None when the layer had no bias."""
+    """Returns ``(dx, dW, db)``; ``db`` is None when the layer had no bias.
+
+    ``dx_out`` mirrors ``linear_forward``'s ``out``: an optional fully
+    overwritten destination for ``dx`` that must not alias ``dy``.
+    """
     x, weight, has_bias = cache
-    dx = dy @ weight.T
+    dx = np.matmul(dy, weight.T, out=dx_out)
     x2 = x.reshape(-1, x.shape[-1])
     dy2 = dy.reshape(-1, dy.shape[-1])
     dweight = x2.T @ dy2

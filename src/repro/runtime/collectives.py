@@ -10,6 +10,20 @@ returns per-rank results.
 Payload accounting follows the standard bus-traffic formulas: for world
 size ``P`` and per-rank tensor size ``M`` bytes, all-to-all and
 all-gather/reduce-scatter move ``M * (P-1) / P`` per rank.
+
+Data movement is **single-copy**: each destination rank's payload is
+written directly into its receive buffer through strided views — no
+``np.split``/``np.concatenate`` staging lists, no per-rank ``.copy()``
+fan-out.  Receive buffers come from the destination pool's
+:class:`~repro.runtime.arena.BufferArena` when the fast path is on
+(:func:`~repro.runtime.arena.fast_path_enabled`), so steady-state loops
+allocate nothing; with the fast path off the same code runs over fresh
+``np.empty`` buffers.  The two modes execute the *identical* copy and
+reduction sequence — outputs are bit-identical, byte accounting and
+trace events are the same either way — which the equivalence tests
+assert.  Consumed inputs are ``release()``-d (value dead, storage
+recycled when arena-owned); callers that keep an array claim it with
+``free()`` first, which pins the storage out of the arena.
 """
 
 from __future__ import annotations
@@ -42,6 +56,51 @@ def _wire_bytes(per_rank_nbytes: int, world: int) -> int:
     undercount bus traffic.
     """
     return -(-per_rank_nbytes * (world - 1) // world)
+
+
+def _axis_slice(ndim: int, axis: int, start: int, stop: int) -> tuple:
+    index = [slice(None)] * ndim
+    index[axis] = slice(start, stop)
+    return tuple(index)
+
+
+def _release_inputs(tensors: list[DeviceTensor]) -> None:
+    for t in tensors:
+        t.release()
+
+
+def _exchange(
+    cluster: VirtualCluster,
+    tensors: list[DeviceTensor],
+    *,
+    split_axis: int,
+    concat_axis: int,
+    tag: str,
+) -> list[DeviceTensor]:
+    """The all-to-all data movement: rank ``dst``'s output concatenates,
+    along ``concat_axis``, the ``dst``-th split-axis slice of every rank
+    (source order).  Each slice is written straight into the receive
+    buffer — one strided copy per (src, dst) pair and nothing else."""
+    world = cluster.world_size
+    data0 = tensors[0].data
+    ndim = data0.ndim
+    part = data0.shape[split_axis] // world
+    seg = part if concat_axis == split_axis else data0.shape[concat_axis]
+    out_shape = list(data0.shape)
+    out_shape[split_axis] = part
+    out_shape[concat_axis] = seg * world
+    out_shape = tuple(out_shape)
+    outputs: list[DeviceTensor] = []
+    for dst in range(world):
+        out = cluster.devices[dst].rent(out_shape, data0.dtype, tensors[dst].dtype, tag)
+        src_index = _axis_slice(ndim, split_axis, dst * part, (dst + 1) * part)
+        for src in range(world):
+            np.copyto(
+                out.data[_axis_slice(ndim, concat_axis, src * seg, (src + 1) * seg)],
+                tensors[src].data[src_index],
+            )
+        outputs.append(out)
+    return outputs
 
 
 def all_to_all(
@@ -79,19 +138,16 @@ def all_to_all(
         raise ShapeError(
             f"split axis {split_axis} size {shape[split_axis]} not divisible by {world}"
         )
-    parts = [np.split(t.data, world, axis=split_axis) for t in tensors]
-    outputs: list[DeviceTensor] = []
-    for dst in range(world):
-        received = np.concatenate([parts[src][dst] for src in range(world)], axis=concat_axis)
-        outputs.append(cluster.devices[dst].from_numpy(received, tensors[dst].dtype, tag))
+    outputs = _exchange(
+        cluster, tensors, split_axis=split_axis, concat_axis=concat_axis, tag=tag
+    )
     cluster.trace.record(
         "collective",
         f"all_to_all:{tag}",
         nbytes=_wire_bytes(tensors[0].nbytes, world),
     )
     if free_input:
-        for t in tensors:
-            t.free()
+        _release_inputs(tensors)
     return outputs
 
 
@@ -104,20 +160,36 @@ def all_gather(
     free_input: bool = True,
 ) -> list[DeviceTensor]:
     """Every rank receives the concatenation of all ranks' tensors along
-    ``axis`` — Megatron-SP's sequence gather before attention."""
+    ``axis`` — Megatron-SP's sequence gather before attention.
+
+    Each rank's slice goes straight from its source into every receive
+    buffer (one copy per (src, dst) pair); there is no staging
+    concatenation that then gets ``.copy()``-d per destination.
+    """
     _validate(cluster, tensors)
-    full = np.concatenate([t.data for t in tensors], axis=axis)
-    outputs = [
-        dev.from_numpy(full.copy(), tensors[0].dtype, tag) for dev in cluster.devices
-    ]
+    world = cluster.world_size
+    data0 = tensors[0].data
+    ndim = data0.ndim
+    seg = data0.shape[axis]
+    out_shape = list(data0.shape)
+    out_shape[axis] = seg * world
+    out_shape = tuple(out_shape)
+    outputs: list[DeviceTensor] = []
+    for dst in range(world):
+        out = cluster.devices[dst].rent(out_shape, data0.dtype, tensors[dst].dtype, tag)
+        for src in range(world):
+            np.copyto(
+                out.data[_axis_slice(ndim, axis, src * seg, (src + 1) * seg)],
+                tensors[src].data,
+            )
+        outputs.append(out)
     cluster.trace.record(
         "collective",
         f"all_gather:{tag}",
-        nbytes=_wire_bytes(tensors[0].nbytes * cluster.world_size, cluster.world_size),
+        nbytes=_wire_bytes(tensors[0].nbytes * world, world),
     )
     if free_input:
-        for t in tensors:
-            t.free()
+        _release_inputs(tensors)
     return outputs
 
 
@@ -131,27 +203,39 @@ def reduce_scatter(
 ) -> list[DeviceTensor]:
     """Element-wise sum over ranks, scattered along ``axis`` — the
     inverse of all-gather, used by Megatron-SP after attention and by
-    ZeRO-2/3 gradient sharding."""
+    ZeRO-2/3 gradient sharding.
+
+    Each destination shard accumulates rank-by-rank directly in its
+    receive buffer (a left fold, which for world sizes <= 8 is exactly
+    NumPy's ``np.sum`` reduction order); no stacked temporary.
+    """
     _validate(cluster, tensors)
     world = cluster.world_size
-    if tensors[0].shape[axis] % world != 0:
+    data0 = tensors[0].data
+    if data0.shape[axis] % world != 0:
         raise ShapeError(
-            f"axis {axis} size {tensors[0].shape[axis]} not divisible by {world}"
+            f"axis {axis} size {data0.shape[axis]} not divisible by {world}"
         )
-    total = np.sum([t.data for t in tensors], axis=0)
-    shards = np.split(total, world, axis=axis)
-    outputs = [
-        dev.from_numpy(shard, tensors[0].dtype, tag)
-        for dev, shard in zip(cluster.devices, shards)
-    ]
+    ndim = data0.ndim
+    seg = data0.shape[axis] // world
+    out_shape = list(data0.shape)
+    out_shape[axis] = seg
+    out_shape = tuple(out_shape)
+    outputs: list[DeviceTensor] = []
+    for dst in range(world):
+        out = cluster.devices[dst].rent(out_shape, data0.dtype, tensors[dst].dtype, tag)
+        shard = _axis_slice(ndim, axis, dst * seg, (dst + 1) * seg)
+        np.copyto(out.data, tensors[0].data[shard])
+        for src in range(1, world):
+            out.data += tensors[src].data[shard]
+        outputs.append(out)
     cluster.trace.record(
         "collective",
         f"reduce_scatter:{tag}",
         nbytes=_wire_bytes(tensors[0].nbytes, world),
     )
     if free_input:
-        for t in tensors:
-            t.free()
+        _release_inputs(tensors)
     return outputs
 
 
@@ -163,20 +247,34 @@ def all_reduce(
     free_input: bool = True,
 ) -> list[DeviceTensor]:
     """Element-wise sum, result replicated on every rank (gradient sync
-    of plain data parallelism / ZeRO-1)."""
+    of plain data parallelism / ZeRO-1).
+
+    The sum materializes once, in rank 0's receive buffer (left fold,
+    == ``np.sum`` order for world sizes <= 8); the other ranks copy that
+    single materialization instead of each re-copying a shared temporary.
+    """
     _validate(cluster, tensors)
-    total = np.sum([t.data for t in tensors], axis=0)
-    outputs = [
-        dev.from_numpy(total.copy(), tensors[0].dtype, tag) for dev in cluster.devices
-    ]
+    world = cluster.world_size
+    data0 = tensors[0].data
+    outputs: list[DeviceTensor] = []
+    for dst in range(world):
+        out = cluster.devices[dst].rent(
+            data0.shape, data0.dtype, tensors[dst].dtype, tag
+        )
+        if dst == 0:
+            np.copyto(out.data, tensors[0].data)
+            for src in range(1, world):
+                out.data += tensors[src].data
+        else:
+            np.copyto(out.data, outputs[0].data)
+        outputs.append(out)
     cluster.trace.record(
         "collective",
         f"all_reduce:{tag}",
-        nbytes=2 * _wire_bytes(tensors[0].nbytes, cluster.world_size),
+        nbytes=2 * _wire_bytes(tensors[0].nbytes, world),
     )
     if free_input:
-        for t in tensors:
-            t.free()
+        _release_inputs(tensors)
     return outputs
 
 
@@ -189,10 +287,14 @@ def broadcast(
 ) -> list[DeviceTensor]:
     """Replicate ``root``'s tensor to every rank (parameter init, ZeRO-3
     parameter gather is modeled with all_gather instead)."""
-    outputs = [
-        tensor if dev.rank == root else dev.from_numpy(tensor.data.copy(), tensor.dtype, tag)
-        for dev in cluster.devices
-    ]
+    outputs: list[DeviceTensor] = []
+    for dev in cluster.devices:
+        if dev.rank == root:
+            outputs.append(tensor)
+            continue
+        out = dev.rent(tensor.data.shape, tensor.data.dtype, tensor.dtype, tag)
+        np.copyto(out.data, tensor.data)
+        outputs.append(out)
     cluster.trace.record("collective", f"broadcast:{tag}", nbytes=tensor.nbytes)
     return outputs
 
@@ -241,9 +343,6 @@ def hierarchical_all_to_all(
         raise ShapeError(
             f"split axis {split_axis} size {shape[split_axis]} not divisible by {world}"
         )
-    dtype = tensors[0].dtype
-    # Pieces[src][dst]: the slice source rank sends to destination rank.
-    pieces = [np.split(t.data, world, axis=split_axis) for t in tensors]
     per_piece = tensors[0].nbytes // world  # storage bytes per piece
 
     # Stage 1 (intra-node, NVLink): within each node, rank l collects the
@@ -256,15 +355,11 @@ def hierarchical_all_to_all(
     cluster.trace.record("collective", f"all_to_all_inter:{tag}", nbytes=int(inter_bytes))
 
     # The data movement itself (exact, layout identical to flat a2a).
-    outputs: list[DeviceTensor] = []
-    for dst in range(world):
-        received = np.concatenate(
-            [pieces[src][dst] for src in range(world)], axis=concat_axis
-        )
-        outputs.append(cluster.devices[dst].from_numpy(received, dtype, tag))
+    outputs = _exchange(
+        cluster, tensors, split_axis=split_axis, concat_axis=concat_axis, tag=tag
+    )
     if free_input:
-        for t in tensors:
-            t.free()
+        _release_inputs(tensors)
     return outputs
 
 
@@ -277,17 +372,18 @@ def ring_shift(
     free_input: bool = True,
 ) -> list[DeviceTensor]:
     """Send each rank's tensor to ``(rank + shift) % P`` — the KV rotation
-    step of Ring Attention.  One call is one ring step."""
+    step of Ring Attention.  One call is one ring step, one copy per rank
+    (source array straight into the receive buffer)."""
     _validate(cluster, tensors)
     world = cluster.world_size
     outputs: list[DeviceTensor | None] = [None] * world
     for src in range(world):
         dst = (src + shift) % world
-        outputs[dst] = cluster.devices[dst].from_numpy(
-            tensors[src].data.copy(), tensors[src].dtype, tag
-        )
+        data = tensors[src].data
+        out = cluster.devices[dst].rent(data.shape, data.dtype, tensors[src].dtype, tag)
+        np.copyto(out.data, data)
+        outputs[dst] = out
     cluster.trace.record("collective", f"ring_shift:{tag}", nbytes=tensors[0].nbytes)
     if free_input:
-        for t in tensors:
-            t.free()
+        _release_inputs(tensors)
     return outputs  # type: ignore[return-value]

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.common.dtypes import DType
 from repro.hardware.topology import ClusterSpec
+from repro.runtime.arena import fast_path_enabled
 from repro.runtime.memory import MemoryPool
 from repro.runtime.tensor import DeviceTensor
 from repro.runtime.trace import Trace
@@ -40,6 +41,23 @@ class VirtualDevice:
     def empty(self, shape: tuple[int, ...], dtype: DType, tag: str) -> DeviceTensor:
         """An uninitialized device tensor (receive buffers, accumulators)."""
         return DeviceTensor(np.empty(shape, dtype.np_dtype), dtype, self.hbm, tag)
+
+    def rent(
+        self, shape: tuple[int, ...], np_dtype, dtype: DType, tag: str
+    ) -> DeviceTensor:
+        """An uninitialized device tensor backed by this pool's buffer
+        arena when the fast path is on (else a plain allocation).
+
+        ``np_dtype`` is the *element* type of the array (collectives
+        must match their inputs' NumPy dtype); ``dtype`` the storage
+        dtype charged to the pool — the same split ``from_numpy`` has.
+        """
+        if fast_path_enabled():
+            return DeviceTensor(
+                self.hbm.arena.rent(shape, np_dtype), dtype, self.hbm, tag,
+                arena=self.hbm.arena,
+            )
+        return DeviceTensor(np.empty(shape, np.dtype(np_dtype)), dtype, self.hbm, tag)
 
     def zeros(self, shape: tuple[int, ...], dtype: DType, tag: str) -> DeviceTensor:
         return DeviceTensor(np.zeros(shape, dtype.np_dtype), dtype, self.hbm, tag)

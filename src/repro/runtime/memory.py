@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.common.errors import OutOfMemoryError
+from repro.runtime.arena import BufferArena
 
 
 @dataclass(frozen=True)
@@ -98,6 +99,10 @@ class MemoryPool:
         self._step = step_clock if step_clock is not None else itertools.count()
         self._event_clock = event_clock
         self._usage_by_tag: dict[str, int] = {}
+        # Storage recycler for the zero-copy fast path.  Renting from it
+        # never touches the byte counters above: arena reuse changes
+        # where NumPy storage comes from, not what the pool charges.
+        self.arena = BufferArena(f"{name}.arena")
 
     def alloc(self, nbytes: int, tag: str = "") -> Allocation:
         """Allocate ``nbytes``; raises :class:`OutOfMemoryError` when the
@@ -163,6 +168,7 @@ class MemoryPool:
             "total_allocated": self.total_allocated,
             "n_allocs": self.n_allocs,
             "live_tensors": len(self._live),
+            "arena": self.arena.stats(),
         }
 
     def reset_peak(self) -> None:

@@ -56,6 +56,16 @@ class StepRecord:
     collective_count: int = 0
     h2d_bytes: int = 0
     d2h_bytes: int = 0
+    # Zero-copy fast-path counters.  The arena fields sum the per-rank
+    # HBM buffer arenas; the workspace fields are the process-wide
+    # attention scratch arena.  All are *cumulative* snapshots (the
+    # counters only grow), not per-step deltas.
+    arena_hits: int = 0
+    arena_misses: int = 0
+    arena_reused_bytes: int = 0
+    workspace_hits: int = 0
+    workspace_misses: int = 0
+    einsum_paths_cached: int = 0
     param_checksums: dict[int, float] = field(default_factory=dict)
 
     def to_record(self) -> dict:
@@ -172,6 +182,12 @@ class RunLogger:
             reg.gauge("mem_hbm_peak_bytes",
                       "max-over-ranks peak HBM bytes").set(max(rec.hbm_peak_bytes))
         reg.gauge("mem_host_live_bytes", "live host pool bytes").set(rec.host_live_bytes)
+        reg.gauge("arena_hits", "buffer-arena rent hits (cumulative)") \
+            .set(rec.arena_hits)
+        reg.gauge("arena_misses", "buffer-arena rent misses (cumulative)") \
+            .set(rec.arena_misses)
+        reg.gauge("arena_reused_bytes",
+                  "bytes served from recycled arena buffers").set(rec.arena_reused_bytes)
         if rec.wall_time_s is not None:
             reg.histogram("train_step_seconds", "wall time per step") \
                 .observe(rec.wall_time_s)
@@ -200,6 +216,16 @@ class RunLogger:
             "wall_time_s": float(sum(wall_times)) if wall_times else None,
             "alerts": len(self.alerts),
         }
+        if steps:
+            # Arena counters are cumulative, so the last step's snapshot
+            # is the run total.  Report-only in `repro metrics diff`
+            # until a baseline records them.
+            last = steps[-1]
+            summary["arena_hits"] = last.arena_hits
+            summary["arena_misses"] = last.arena_misses
+            summary["arena_reused_bytes"] = last.arena_reused_bytes
+            summary["workspace_hits"] = last.workspace_hits
+            summary["einsum_paths_cached"] = last.einsum_paths_cached
         if profile is not None:
             summary["sim_makespan_s"] = profile.makespan
             summary["sim_mfu"] = profile.rollup().mfu

@@ -15,7 +15,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.common.einsum_cache import path_cache_stats
 from repro.core.fpdt_model import FPDTModelRunner
+from repro.models.attention import workspace_stats
 from repro.models.transformer import GPTModel
 from repro.runtime.trace_analysis import summarize
 from repro.telemetry.monitors import checksum_params
@@ -157,6 +159,14 @@ class Trainer:
             record.collective_count = sum(delta.collective_count.values())
             record.h2d_bytes = delta.h2d_bytes
             record.d2h_bytes = delta.d2h_bytes
+            arenas = [s["arena"] for s in mem["hbm"] if "arena" in s]
+            record.arena_hits = sum(a["hits"] for a in arenas)
+            record.arena_misses = sum(a["misses"] for a in arenas)
+            record.arena_reused_bytes = sum(a["reused_bytes"] for a in arenas)
+        ws = workspace_stats()
+        record.workspace_hits = ws["hits"]
+        record.workspace_misses = ws["misses"]
+        record.einsum_paths_cached = path_cache_stats()["entries"]
         # Post-step parameters are replicated across ranks by
         # construction here; a real deployment feeds per-rank values.
         checksum = checksum_params(self.model.all_params())

@@ -6,12 +6,13 @@ import pytest
 
 from repro.common.dtypes import DType
 from repro.common.errors import ShapeError
-from repro.runtime import VirtualCluster
+from repro.runtime import VirtualCluster, fast_path
 from repro.runtime.collectives import (
     all_gather,
     all_reduce,
     all_to_all,
     broadcast,
+    hierarchical_all_to_all,
     reduce_scatter,
     ring_shift,
 )
@@ -172,3 +173,58 @@ class TestAllReduceBroadcastRing:
             tensors = ring_shift(cluster, tensors, shift=1)
         for r, t in enumerate(tensors):
             np.testing.assert_array_equal(t.data, np.array([float(r)]))
+
+
+class TestArenaFastPath:
+    """The zero-copy fast path must be invisible except in allocator
+    traffic: bitwise-identical payloads, identical trace bytes."""
+
+    def _arrays(self, world):
+        g = np.random.default_rng(11)
+        return [g.normal(size=(2, 4, world * 2, 4)) for _ in range(world)]
+
+    def _run(self, op, world, enabled):
+        with fast_path(enabled):
+            cluster = VirtualCluster(world)
+            outs = op(cluster, _rank_tensors(cluster, self._arrays(world)))
+            data = [o.data.copy() for o in outs]
+            events = [
+                (e.label, e.nbytes)
+                for e in cluster.trace.filter(kind="collective")
+            ]
+        return data, events
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            lambda c, t: all_to_all(c, t, split_axis=2, concat_axis=1),
+            lambda c, t: all_gather(c, t, axis=1),
+            lambda c, t: reduce_scatter(c, t, axis=2),
+            lambda c, t: all_reduce(c, t),
+            lambda c, t: ring_shift(c, t, shift=1),
+            lambda c, t: hierarchical_all_to_all(
+                c, t, split_axis=2, concat_axis=1, gpus_per_node=2
+            ),
+        ],
+        ids=[
+            "all_to_all", "all_gather", "reduce_scatter", "all_reduce",
+            "ring_shift", "hierarchical_all_to_all",
+        ],
+    )
+    def test_bitwise_identical_fast_path_on_or_off(self, op):
+        on_data, on_events = self._run(op, 4, True)
+        off_data, off_events = self._run(op, 4, False)
+        for a, b in zip(on_data, off_data):
+            np.testing.assert_array_equal(a, b)
+        assert on_events == off_events
+
+    def test_collective_consumes_inputs(self):
+        """``free_input=True`` (the default) releases the send buffers:
+        their storage returns to the arena and use-after-release is loud."""
+        cluster = VirtualCluster(2)
+        tensors = _rank_tensors(cluster, self._arrays(2))
+        outs = all_to_all(cluster, tensors, split_axis=2, concat_axis=1)
+        assert all(t.data is None for t in tensors)
+        for o in outs:
+            o.free()
+        cluster.check_no_leaks()

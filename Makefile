@@ -1,6 +1,6 @@
 # Common developer targets.
 
-.PHONY: install test bench experiments examples all
+.PHONY: install test bench chaos experiments examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+chaos:
+	python -m repro chaos --quick
 
 experiments:
 	python -m repro experiment table1

@@ -25,5 +25,6 @@ __all__ = [
     "perfmodel",
     "training",
     "telemetry",
+    "faults",
     "experiments",
 ]

@@ -10,6 +10,7 @@
     python -m repro profile --gpus 2 --out results/profile_trace.json
     python -m repro metrics summary results/runlog.jsonl
     python -m repro metrics diff results/golden_runlog.jsonl results/runlog.jsonl
+    python -m repro chaos --quick
 
 ``plan`` is the Table-1 question (max context per strategy), ``tune``
 the §5.3 question (which chunk size), ``experiment`` regenerates any
@@ -18,7 +19,9 @@ with ``--run-log``, a telemetry-instrumented run that writes a JSONL
 run log), ``profile`` replays one traced FPDT step in simulated time,
 and ``metrics`` renders/diffs run logs — ``diff`` exits non-zero when
 a gated metric drifts beyond tolerance, which is the CI regression
-gate.
+gate.  ``chaos`` trains through injected faults and a mid-run crash,
+resumes from the checkpoint, and exits non-zero unless the recovered
+loss curve is bitwise identical to a clean run.
 """
 
 from __future__ import annotations
@@ -237,6 +240,60 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan, chaos_run
+
+    steps = 6 if args.quick and args.steps is None else (args.steps or 12)
+    crash_at = args.crash_at
+    if crash_at is None:
+        crash_at = steps // 2
+    if not 0 <= crash_at < steps:
+        print(f"chaos: --crash-at must be in [0, {steps})", file=sys.stderr)
+        return 2
+    try:
+        plan = FaultPlan(
+            seed=args.seed,
+            collective_rate=args.collective_rate,
+            offload_rate=args.offload_rate,
+            straggler_rate=args.straggler_rate,
+            hbm_spike_rate=args.hbm_spike_rate,
+            crash_at_step=crash_at or None,
+        )
+    except ValueError as exc:
+        print(f"chaos: {exc}", file=sys.stderr)
+        return 2
+    run = chaos_run(
+        steps,
+        plan=plan,
+        seed=args.seed,
+        checkpoint_every=args.checkpoint_every,
+        run_log_path=args.run_log,
+    )
+    stats = run.fault_stats
+    print(f"chaos run: {steps} steps, crash at {run.crash_at}, "
+          f"resumed from step {run.resumed_from}")
+    print(f"  faults injected  {stats['total_faults']} "
+          f"({', '.join(f'{k}={v}' for k, v in sorted(stats['faults_injected'].items()))})")
+    print(f"  retries          {stats['retries']} "
+          f"(backoff {stats['backoff_s'] * 1e3:.1f} ms simulated)")
+    print(f"  crashes          {stats['crashes']}, "
+          f"retry-storm alerts {run.alerts}")
+    if args.run_log:
+        print(f"  [run log written to {args.run_log}]")
+    if run.bitwise_equal:
+        print("  loss curve: bitwise identical to the clean run — "
+              "recovery is exact")
+        return 0
+    print("chaos: recovered loss curve DIVERGED from the clean run",
+          file=sys.stderr)
+    for i, (a, b) in enumerate(zip(run.clean_losses, run.chaos_losses)):
+        if a != b:
+            print(f"  first divergence at step {i}: clean {a!r} vs chaos {b!r}",
+                  file=sys.stderr)
+            break
+    return 1
+
+
 def cmd_metrics_summary(args: argparse.Namespace) -> int:
     from repro.telemetry import read_run_log
 
@@ -398,6 +455,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH", help="Chrome-trace JSON output path",
     )
     p_prof.set_defaults(fn=cmd_profile)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="fault-injected train + crash + resume; fail unless the "
+             "recovered loss curve is bitwise identical to a clean run",
+    )
+    p_chaos.add_argument("--steps", type=int, default=None,
+                         help="training steps (default 12, or 6 with --quick)")
+    p_chaos.add_argument("--quick", action="store_true",
+                         help="small CI smoke configuration")
+    p_chaos.add_argument("--seed", type=int, default=7,
+                         help="seeds the model, data and the fault plan")
+    p_chaos.add_argument("--collective-rate", type=float, default=0.05,
+                         help="per-attempt transient collective failure rate")
+    p_chaos.add_argument("--offload-rate", type=float, default=0.02,
+                         help="per-attempt flaky H2D/D2H transfer rate")
+    p_chaos.add_argument("--straggler-rate", type=float, default=0.05,
+                         help="per-collective straggler-rank rate")
+    p_chaos.add_argument("--hbm-spike-rate", type=float, default=0.05,
+                         help="per-collective HBM pressure-spike rate")
+    p_chaos.add_argument("--crash-at", type=int, default=None,
+                         help="global step to crash at (default steps//2; "
+                              "0 disables the crash)")
+    p_chaos.add_argument("--checkpoint-every", type=int, default=2,
+                         help="checkpoint interval in steps")
+    p_chaos.add_argument("--run-log", metavar="PATH", default=None,
+                         help="write the chaos run's JSONL telemetry log")
+    p_chaos.set_defaults(fn=cmd_chaos)
     return parser
 
 

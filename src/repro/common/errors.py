@@ -37,3 +37,34 @@ class ShapeError(FPDTError):
 class ScheduleError(FPDTError):
     """A pipeline schedule is malformed (cyclic dependencies, unknown
     stream, event waited on before being recorded, ...)."""
+
+
+class PermanentFaultError(FPDTError):
+    """An injected fault exhausted its retry budget.
+
+    Transient faults are retried with exponential backoff; when the
+    fault plan schedules more consecutive failures than
+    ``max_retries`` allows, the operation fails for good — the
+    simulated analogue of a hard link failure (NCCL abort)."""
+
+    def __init__(self, kind: str, label: str, attempts: int):
+        self.kind = kind
+        self.label = label
+        self.attempts = attempts
+        super().__init__(
+            f"{kind} operation {label!r} failed permanently after "
+            f"{attempts} attempt(s) — retry budget exhausted"
+        )
+
+
+class InjectedCrash(FPDTError):
+    """A fault plan killed the training process at a scheduled step.
+
+    Raised by the fault injector at the *start* of the scheduled step
+    (no partial step ran), so a checkpoint-restart loop can catch it,
+    reload the last checkpoint, and reproduce the uninterrupted run
+    exactly."""
+
+    def __init__(self, step: int):
+        self.step = step
+        super().__init__(f"injected crash at start of training step {step}")

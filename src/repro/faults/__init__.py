@@ -1,0 +1,26 @@
+"""Deterministic fault injection and chaos testing over the simulated
+runtime.
+
+A seeded :class:`FaultPlan` decides *what* goes wrong and *when* —
+transient collective link failures, flaky H2D/D2H offload transfers,
+straggler ranks, HBM pressure spikes, an optional scheduled crash — and
+a :class:`FaultInjector` attached to a :class:`~repro.runtime.device
+.VirtualCluster` applies it through duck-typed hooks in the collectives
+and the chunk cache.  Faults cost retries (with exponential backoff,
+visible to the simulated-time profiler and the telemetry stream) but
+never perturb numerics; :func:`chaos_run` turns that into a testable
+invariant by comparing a chaos run's loss curve — through an injected
+mid-run crash and a checkpoint restart — bitwise against a clean run.
+"""
+
+from repro.faults.chaos import ChaosRun, chaos_run
+from repro.faults.injector import FaultInjector, merge_stats
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "ChaosRun",
+    "FaultInjector",
+    "FaultPlan",
+    "chaos_run",
+    "merge_stats",
+]

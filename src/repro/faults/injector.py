@@ -1,0 +1,142 @@
+"""The fault injector: plan decisions -> runtime side effects.
+
+One :class:`FaultInjector` attaches to one :class:`~repro.runtime
+.device.VirtualCluster` (``injector.attach(cluster)`` sets
+``cluster.fault_injector``).  The runtime hooks are duck-typed pulls,
+not pushes: :mod:`repro.runtime.collectives` and :class:`~repro.core
+.offload.ChunkCache` check ``cluster.fault_injector`` and call
+:meth:`before_collective` / :meth:`before_transfer` right before moving
+data, so the runtime has **zero** import-time dependency on this
+package and zero overhead when no injector is attached.
+
+Injected faults never perturb numerics: a transient failure costs
+``fault`` + ``retry`` trace events (the retry carrying its exponential
+backoff in ``seconds``) and counter increments, after which the
+operation proceeds with the *identical* data movement — which is why a
+chaos run's loss curve is bitwise equal to the clean run's, the
+invariant the chaos CLI verifies.  Stragglers add pure extra compute on
+the victim rank; HBM spikes charge-and-release pool bytes (peaks move,
+live bytes do not).
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import InjectedCrash, PermanentFaultError
+from repro.faults.plan import FaultPlan
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to a virtual cluster's operations.
+
+    Counters (all cumulative) are exposed via :meth:`stats`; the
+    per-step telemetry instead reads the ``fault``/``retry`` events off
+    the trace slice, so step records see exact deltas.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._op_index = {"collective": 0, "offload": 0}
+        self.faults_injected = {"collective": 0, "offload": 0,
+                                "straggler": 0, "hbm_spike": 0}
+        self.retries = 0
+        self.backoff_s = 0.0
+        self.crashes = 0
+
+    def attach(self, cluster) -> "FaultInjector":
+        """Install this injector on ``cluster`` and return it."""
+        cluster.fault_injector = self
+        return self
+
+    # -- runtime hooks ------------------------------------------------------
+
+    def before_collective(self, cluster, label: str) -> None:
+        """Called by every collective right before its data movement."""
+        index = self._op_index["collective"]
+        self._op_index["collective"] = index + 1
+        self._transient(cluster, "collective", label, index, rank=-1)
+        world = cluster.world_size
+        victim = self.plan.straggler_for(index, world)
+        if victim is not None:
+            self.faults_injected["straggler"] += 1
+            cluster.trace.record(
+                "fault", f"straggler:{label}", rank=victim, stream="fault"
+            )
+            cluster.devices[victim].compute(
+                f"fault:straggler:{label}", flops=self.plan.straggler_flops
+            )
+        victim = self.plan.spike_for(index, world)
+        if victim is not None:
+            self.faults_injected["hbm_spike"] += 1
+            cluster.trace.record(
+                "fault", f"hbm_spike:{label}", rank=victim, stream="fault",
+                nbytes=self.plan.hbm_spike_bytes,
+            )
+            # Charge-and-release: peak moves, live bytes do not.  On a
+            # capacity-bounded device this OOMs like any allocation.
+            pool = cluster.devices[victim].hbm
+            pool.free(pool.alloc(self.plan.hbm_spike_bytes, "fault:hbm_spike"))
+
+    def before_transfer(self, cluster, direction: str, label: str, rank: int) -> None:
+        """Called by the chunk cache before an H2D/D2H transfer;
+        ``direction`` is ``"h2d"`` or ``"d2h"``."""
+        index = self._op_index["offload"]
+        self._op_index["offload"] = index + 1
+        self._transient(cluster, "offload", f"{direction}:{label}", index, rank=rank)
+
+    def on_step(self, step: int) -> None:
+        """Called by the trainer at the start of global step ``step``."""
+        if self.plan.crash_at_step is not None and step == self.plan.crash_at_step:
+            self.crashes += 1
+            raise InjectedCrash(step)
+
+    # -- internals ----------------------------------------------------------
+
+    def _transient(
+        self, cluster, kind: str, label: str, index: int, *, rank: int
+    ) -> None:
+        failures = self.plan.failures_for(kind, index)
+        if failures == 0:
+            return
+        self.faults_injected[kind] += failures
+        budget = min(failures, self.plan.max_retries)
+        for attempt in range(budget):
+            delay = self.plan.backoff(attempt)
+            cluster.trace.record(
+                "fault", f"{kind}:{label}", rank=rank, stream="fault"
+            )
+            cluster.trace.record(
+                "retry", f"{kind}:{label}", rank=rank, stream="fault",
+                seconds=delay,
+            )
+            self.retries += 1
+            self.backoff_s += delay
+        if failures > self.plan.max_retries:
+            cluster.trace.record(
+                "fault", f"{kind}:{label}", rank=rank, stream="fault"
+            )
+            raise PermanentFaultError(kind, label, failures + 1)
+
+    def stats(self) -> dict:
+        """Cumulative injection counters (JSON-friendly)."""
+        return {
+            "faults_injected": dict(self.faults_injected),
+            "total_faults": sum(self.faults_injected.values()),
+            "retries": self.retries,
+            "backoff_s": self.backoff_s,
+            "crashes": self.crashes,
+        }
+
+
+def merge_stats(*stats: dict) -> dict:
+    """Fold several injectors' :meth:`FaultInjector.stats` dicts into
+    one (a crash-restart chaos run has one injector per process life)."""
+    out = {"faults_injected": {}, "total_faults": 0, "retries": 0,
+           "backoff_s": 0.0, "crashes": 0}
+    for s in stats:
+        for kind, n in s["faults_injected"].items():
+            out["faults_injected"][kind] = out["faults_injected"].get(kind, 0) + n
+        out["total_faults"] += s["total_faults"]
+        out["retries"] += s["retries"]
+        out["backoff_s"] += s["backoff_s"]
+        out["crashes"] += s["crashes"]
+    return out

@@ -218,10 +218,14 @@ def trace_event_latency(
       stages route to their own link (``all_to_all_intra`` → NVLink,
       ``all_to_all_inter`` → interconnect), everything else pays the
       span's bottleneck link.
-    * ``wait`` / ``phase`` markers are free — their cost is whatever
-      stall the replay derives, not an intrinsic latency.
+    * ``retry`` events carry their own backoff delay (``event.seconds``)
+      — the fault plan, not the hardware, decides it.
+    * ``wait`` / ``phase`` / ``fault`` markers are free — their cost is
+      whatever stall the replay derives, not an intrinsic latency.
     """
     kind = event.kind
+    if kind == "retry":
+        return float(getattr(event, "seconds", 0.0))
     if kind == "compute":
         if event.flops <= 0:
             return 0.0

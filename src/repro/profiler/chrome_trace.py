@@ -29,7 +29,10 @@ from repro.runtime.memory import MemorySample
 _US = 1e6  # seconds -> microseconds
 
 # Stable thread ids per stream so lanes sort consistently in the UI.
-_STREAM_TIDS = {"compute": 1, "h2d-prefetch": 2, "h2d": 3, "d2h": 4, "collective": 5, "phase": 6}
+_STREAM_TIDS = {
+    "compute": 1, "h2d-prefetch": 2, "h2d": 3, "d2h": 4,
+    "collective": 5, "phase": 6, "fault": 7, "retry": 8,
+}
 
 
 def _tid(stream: str) -> int:
@@ -37,10 +40,11 @@ def _tid(stream: str) -> int:
 
 
 def _lane(kind: str, stream: str) -> str:
-    """Display lane for an event.  Collectives and phase markers get
-    their own lanes regardless of the stream the runtime recorded them
-    on (collectives default to the compute stream there)."""
-    if kind in ("collective", "phase"):
+    """Display lane for an event.  Collectives, phase markers, and
+    injected fault/retry events get their own lanes regardless of the
+    stream the runtime recorded them on (collectives default to the
+    compute stream there)."""
+    if kind in ("collective", "phase", "fault", "retry"):
         return kind
     return stream
 

@@ -34,6 +34,12 @@ Events are walked in trace (= program) order, one cursor per rank:
   stream arrives, the collective runs, all ranks resume at its end; the
   whole duration is exposed (this runtime's collectives are blocking,
   as Ulysses' all-to-alls are).
+* ``fault`` events are free markers (the failed attempt moved no data);
+  ``retry`` events carry their backoff delay in ``event.seconds`` and
+  block either the victim rank's compute stream (``rank >= 0``,
+  offload-path faults) or every rank (``rank == -1``, collective-link
+  faults) — so injected faults lengthen the makespan and are charged
+  to exposed communication time.
 * ``phase`` markers split the timeline into named sections that
   :meth:`Profile.rollup` reports separately.
 """
@@ -152,6 +158,16 @@ class Profile:
             elif kind == "wait":
                 exposed += te.stall / world
                 exposed_h2d += te.stall / world
+            elif kind == "retry":
+                # Group-wide (rank -1) retries stall every rank for the
+                # full backoff; per-rank retries are averaged like the
+                # per-rank transfers they delay.
+                if te.event.rank < 0:
+                    comm += te.duration
+                    exposed += te.stall
+                else:
+                    comm += te.duration / world
+                    exposed += te.stall / world
         if phase is None:
             span = self.makespan
         else:
@@ -292,6 +308,33 @@ def replay_trace(
                 compute_free[rank] = end
                 transfer_done[("fetch", rank, key)] = end
                 timeline.append(TimedEvent(ev, start, end, end - issue, phase))
+            continue
+
+        if ev.kind == "fault":
+            # Zero-cost marker at the victim's current position.
+            now = compute_free[rank] if rank >= 0 else _frontier()
+            timeline.append(TimedEvent(ev, now, now, 0.0, phase))
+            continue
+
+        if ev.kind == "retry":
+            if rank < 0:
+                # Collective-link retry: a group-wide stall, like the
+                # collective it delays.
+                ranks = range(max(max_rank + 1, 1))
+                arrive = max(
+                    [stream_free[(-1, "collective")]]
+                    + [compute_free[r] for r in ranks]
+                )
+                end = arrive + dur
+                stream_free[(-1, "collective")] = end
+                for r in ranks:
+                    compute_free[r] = end
+                timeline.append(TimedEvent(ev, arrive, end, dur, phase))
+            else:
+                start = compute_free[rank]
+                end = start + dur
+                compute_free[rank] = end
+                timeline.append(TimedEvent(ev, start, end, dur, phase))
             continue
 
         if ev.kind == "d2h":

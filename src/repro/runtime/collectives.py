@@ -35,6 +35,16 @@ from repro.runtime.device import VirtualCluster
 from repro.runtime.tensor import DeviceTensor
 
 
+def _inject(cluster: VirtualCluster, label: str) -> None:
+    """Fault-injection hook: when a :class:`~repro.faults.FaultInjector`
+    is attached to the cluster, let it fail/straggle/spike this
+    collective before any data moves.  Duck-typed so the runtime never
+    imports :mod:`repro.faults`; a plain cluster pays one ``getattr``."""
+    injector = getattr(cluster, "fault_injector", None)
+    if injector is not None:
+        injector.before_collective(cluster, label)
+
+
 def _validate(cluster: VirtualCluster, tensors: list[DeviceTensor]) -> None:
     if len(tensors) != cluster.world_size:
         raise ShapeError(
@@ -138,6 +148,7 @@ def all_to_all(
         raise ShapeError(
             f"split axis {split_axis} size {shape[split_axis]} not divisible by {world}"
         )
+    _inject(cluster, f"all_to_all:{tag}")
     outputs = _exchange(
         cluster, tensors, split_axis=split_axis, concat_axis=concat_axis, tag=tag
     )
@@ -167,6 +178,7 @@ def all_gather(
     concatenation that then gets ``.copy()``-d per destination.
     """
     _validate(cluster, tensors)
+    _inject(cluster, f"all_gather:{tag}")
     world = cluster.world_size
     data0 = tensors[0].data
     ndim = data0.ndim
@@ -210,6 +222,7 @@ def reduce_scatter(
     NumPy's ``np.sum`` reduction order); no stacked temporary.
     """
     _validate(cluster, tensors)
+    _inject(cluster, f"reduce_scatter:{tag}")
     world = cluster.world_size
     data0 = tensors[0].data
     if data0.shape[axis] % world != 0:
@@ -254,6 +267,7 @@ def all_reduce(
     single materialization instead of each re-copying a shared temporary.
     """
     _validate(cluster, tensors)
+    _inject(cluster, f"all_reduce:{tag}")
     world = cluster.world_size
     data0 = tensors[0].data
     outputs: list[DeviceTensor] = []
@@ -287,6 +301,7 @@ def broadcast(
 ) -> list[DeviceTensor]:
     """Replicate ``root``'s tensor to every rank (parameter init, ZeRO-3
     parameter gather is modeled with all_gather instead)."""
+    _inject(cluster, f"broadcast:{tag}")
     outputs: list[DeviceTensor] = []
     for dev in cluster.devices:
         if dev.rank == root:
@@ -344,6 +359,7 @@ def hierarchical_all_to_all(
             f"split axis {split_axis} size {shape[split_axis]} not divisible by {world}"
         )
     per_piece = tensors[0].nbytes // world  # storage bytes per piece
+    _inject(cluster, f"hierarchical_all_to_all:{tag}")
 
     # Stage 1 (intra-node, NVLink): within each node, rank l collects the
     # pieces every local rank holds for remote-node-offset ... -> each
@@ -375,6 +391,7 @@ def ring_shift(
     step of Ring Attention.  One call is one ring step, one copy per rank
     (source array straight into the receive buffer)."""
     _validate(cluster, tensors)
+    _inject(cluster, f"ring_shift:{tag}")
     world = cluster.world_size
     outputs: list[DeviceTensor | None] = [None] * world
     for src in range(world):

@@ -140,6 +140,10 @@ class VirtualCluster:
         self.world_size = world_size
         self.spec = spec
         self.trace = Trace()
+        #: Optional :class:`repro.faults.FaultInjector`; collectives and
+        #: the chunk cache consult it before moving data.  Plain attr —
+        #: the runtime never imports the faults package.
+        self.fault_injector = None
         # All pools of a cluster share one step clock (their timeline
         # samples interleave on a global order) and stamp samples with
         # the trace position, so the profiler can place memory counters

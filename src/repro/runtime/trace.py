@@ -15,6 +15,16 @@ Two event kinds exist purely to make that later timing join exact:
 * ``phase`` — a named marker (``mark_phase``) splitting the log into
   sections ("forward", "backward", ...) that profiler rollups report
   separately.
+
+Two further kinds carry the fault-injection model (:mod:`repro.faults`):
+
+* ``fault`` — one injected transient failure of the *next* operation
+  (a collective link error, a flaky H2D/D2H transfer).  Zero intrinsic
+  cost: the failed attempt's payload never moved.
+* ``retry`` — the recovery attempt after a ``fault``, carrying its
+  exponential-backoff delay in ``seconds``; the profiler charges that
+  delay to the victim rank (or, for group-wide collectives, to every
+  rank) so injected faults show up in makespan and exposed-comm time.
 """
 
 from __future__ import annotations
@@ -30,7 +40,10 @@ class TraceEvent:
 
     ``kind`` is one of ``compute``, ``collective``, ``h2d``, ``d2h``.
     ``nbytes`` is per-rank payload for collectives and transfer size for
-    copies; ``flops`` is nonzero only for compute.
+    copies; ``flops`` is nonzero only for compute.  ``seconds`` is an
+    intrinsic latency carried by the event itself — nonzero only for
+    ``retry`` events, whose backoff delay is decided by the fault plan,
+    not by the hardware model.
     """
 
     event_id: int
@@ -40,12 +53,13 @@ class TraceEvent:
     stream: str
     nbytes: int = 0
     flops: float = 0.0
+    seconds: float = 0.0
 
 
 class Trace:
     """Append-only event log shared by all virtual devices of a cluster."""
 
-    KINDS = ("compute", "collective", "h2d", "d2h", "wait", "phase")
+    KINDS = ("compute", "collective", "h2d", "d2h", "wait", "phase", "fault", "retry")
 
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
@@ -60,10 +74,13 @@ class Trace:
         stream: str = "compute",
         nbytes: int = 0,
         flops: float = 0.0,
+        seconds: float = 0.0,
     ) -> TraceEvent:
         if kind not in self.KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
-        event = TraceEvent(next(self._ids), kind, label, rank, stream, nbytes, flops)
+        event = TraceEvent(
+            next(self._ids), kind, label, rank, stream, nbytes, flops, seconds
+        )
         self.events.append(event)
         return event
 

@@ -28,6 +28,9 @@ class TraceSummary:
     compute_flops: float = 0.0
     compute_count: int = 0
     wait_count: int = 0
+    fault_count: int = 0
+    retry_count: int = 0
+    retry_backoff_s: float = 0.0
     phases: list[str] = field(default_factory=list)
 
     @property
@@ -73,6 +76,11 @@ def summarize(trace: Trace, *, start: int = 0, end: int | None = None) -> TraceS
             summary.compute_count += 1
         elif event.kind == "wait":
             summary.wait_count += 1
+        elif event.kind == "fault":
+            summary.fault_count += 1
+        elif event.kind == "retry":
+            summary.retry_count += 1
+            summary.retry_backoff_s += event.seconds
         elif event.kind == "phase":
             summary.phases.append(event.label)
     summary.collective_bytes = dict(coll_bytes)

@@ -35,6 +35,7 @@ from repro.telemetry.metrics import (
 )
 from repro.telemetry.monitors import (
     DesyncMonitor,
+    FaultRateMonitor,
     HealthAlert,
     HealthMonitor,
     MemoryWatermarkMonitor,
@@ -84,6 +85,7 @@ __all__ = [
     "MemoryWatermarkMonitor",
     "DesyncMonitor",
     "StragglerMonitor",
+    "FaultRateMonitor",
     "checksum_params",
     "MetricDiff",
     "DEFAULT_TOLERANCES",

@@ -17,6 +17,10 @@ training actually hits:
   profiler replay.  FPDT's load-balanced causal chunking (§4.2) should
   keep ranks within a few percent of each other; a skewed rank means
   the chunk layout (or the hardware) is imbalanced.
+* :class:`FaultRateMonitor` — retry pressure per step.  A lossy link
+  that keeps recovering still completes the run (retries make faults
+  invisible to the loss curve), so retry storms are exactly the failure
+  that needs a monitor to surface before the retry budget runs out.
 
 Monitors are passive: they never raise out of the training loop, they
 record alerts (also forwarded to the run-log sinks by the
@@ -196,6 +200,43 @@ class StragglerMonitor(HealthMonitor):
                 f"(threshold {self.imbalance_threshold:.2f}x)",
                 per_rank_compute_time={str(r): t for r, t in per_rank.items()},
                 ratio=ratio, worst_rank=worst_rank,
+            )]
+        return []
+
+
+class FaultRateMonitor(HealthMonitor):
+    """Flag steps whose injected-fault retry count crosses a threshold.
+
+    Retries hide faults from the loss curve by design; this monitor is
+    the operator-facing signal that the run is surviving on its retry
+    budget.  Fires once per offending step with the step's fault/retry
+    deltas and cumulative totals.
+    """
+
+    name = "fault_rate"
+
+    def __init__(self, *, max_retries_per_step: int = 8):
+        super().__init__()
+        if max_retries_per_step < 1:
+            raise ValueError("max_retries_per_step must be >= 1")
+        self.max_retries_per_step = max_retries_per_step
+        self.total_faults = 0
+        self.total_retries = 0
+
+    def observe_step(self, record) -> list[HealthAlert]:
+        self.total_faults += record.fault_count
+        self.total_retries += record.retry_count
+        if record.retry_count > self.max_retries_per_step:
+            return [self._alert(
+                record.step,
+                f"{record.retry_count} retries this step (threshold "
+                f"{self.max_retries_per_step}) — retry storm, link may be "
+                f"about to fail permanently",
+                fault_count=record.fault_count,
+                retry_count=record.retry_count,
+                retry_backoff_s=record.retry_backoff_s,
+                total_faults=self.total_faults,
+                total_retries=self.total_retries,
             )]
         return []
 

@@ -66,6 +66,11 @@ class StepRecord:
     workspace_hits: int = 0
     workspace_misses: int = 0
     einsum_paths_cached: int = 0
+    # Fault-injection deltas for this step (``fault``/``retry`` events
+    # on the step's trace slice); stay zero on clean runs.
+    fault_count: int = 0
+    retry_count: int = 0
+    retry_backoff_s: float = 0.0
     param_checksums: dict[int, float] = field(default_factory=dict)
 
     def to_record(self) -> dict:
@@ -188,6 +193,12 @@ class RunLogger:
             .set(rec.arena_misses)
         reg.gauge("arena_reused_bytes",
                   "bytes served from recycled arena buffers").set(rec.arena_reused_bytes)
+        if rec.fault_count:
+            reg.counter("faults_injected_total",
+                        "injected faults survived").inc(rec.fault_count)
+        if rec.retry_count:
+            reg.counter("fault_retries_total",
+                        "retry attempts after injected faults").inc(rec.retry_count)
         if rec.wall_time_s is not None:
             reg.histogram("train_step_seconds", "wall time per step") \
                 .observe(rec.wall_time_s)
@@ -215,6 +226,11 @@ class RunLogger:
             "total_d2h_bytes": sum(r.d2h_bytes for r in steps),
             "wall_time_s": float(sum(wall_times)) if wall_times else None,
             "alerts": len(self.alerts),
+            # Report-only in `repro metrics diff` (ungated until a
+            # baseline records them), like the arena counters.
+            "fault_count": sum(r.fault_count for r in steps),
+            "retry_count": sum(r.retry_count for r in steps),
+            "retry_backoff_s": float(sum(r.retry_backoff_s for r in steps)),
         }
         if steps:
             # Arena counters are cumulative, so the last step's snapshot

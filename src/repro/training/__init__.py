@@ -10,7 +10,12 @@ from repro.training.data import (
 )
 from repro.training.evaluate import EvalResult, evaluate_perplexity
 from repro.training.schedule import clip_grad_norm, global_grad_norm, warmup_cosine_lr
-from repro.training.serialization import load_checkpoint, save_checkpoint
+from repro.training.serialization import (
+    checkpoint_meta,
+    load_checkpoint,
+    normalize_checkpoint_path,
+    save_checkpoint,
+)
 from repro.training.curriculum import LengthCurriculum, curriculum_train
 from repro.training.mixed_precision import MixedPrecisionTrainer
 from repro.training.trainer import TrainResult, Trainer
@@ -35,4 +40,6 @@ __all__ = [
     "global_grad_norm",
     "save_checkpoint",
     "load_checkpoint",
+    "checkpoint_meta",
+    "normalize_checkpoint_path",
 ]

@@ -53,6 +53,18 @@ class SyntheticCorpus:
             out[i] = self.successors[out[i - 1], choices[i - 1]]
         return out
 
+    def get_state(self) -> dict:
+        """JSON-serializable sampling position (the transition kernel is
+        seed-derived and needs no saving) — checkpoint this so a resumed
+        run replays the *same* token stream the uninterrupted run saw."""
+        return {"kind": "synthetic", "rng": self._rng.bit_generator.state}
+
+    def set_state(self, state: dict) -> None:
+        """Restore a position captured by :meth:`get_state`."""
+        if state.get("kind") != "synthetic":
+            raise ValueError(f"not a SyntheticCorpus state: {state.get('kind')!r}")
+        self._rng.bit_generator.state = state["rng"]
+
     def entropy_floor(self) -> float:
         """The per-token cross-entropy a perfect model converges to."""
         return float(np.log(self.branching))
@@ -111,6 +123,22 @@ class PackedDocumentCorpus:
         """One document (content tokens only, values in [1, vocab))."""
         length = int(self._rng.integers(self.doc_len_low, self.doc_len_high + 1))
         return self._chain.sample(length) + 1
+
+    def get_state(self) -> dict:
+        """JSON-serializable sampling position (doc-length stream plus
+        the content chain's position)."""
+        return {
+            "kind": "packed",
+            "rng": self._rng.bit_generator.state,
+            "chain": self._chain.get_state(),
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a position captured by :meth:`get_state`."""
+        if state.get("kind") != "packed":
+            raise ValueError(f"not a PackedDocumentCorpus state: {state.get('kind')!r}")
+        self._rng.bit_generator.state = state["rng"]
+        self._chain.set_state(state["chain"])
 
     def sample_packed(self, seq_len: int) -> np.ndarray:
         """``seq_len + 1`` tokens of EOS-separated packed documents

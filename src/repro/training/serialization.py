@@ -5,11 +5,29 @@ checkpoints is a demo.  Checkpoints are ``.npz`` archives of the flat
 parameter dict plus optimizer state and metadata; loading validates the
 architecture so a 2.7B checkpoint cannot be silently poured into an 8B
 model.
+
+Durability guarantees:
+
+* **Atomic writes** — the archive is written to a temporary file in the
+  destination directory and ``os.replace``-d into place, so a crash
+  mid-save can never corrupt the previous checkpoint (the exact failure
+  the fault-injection tests rehearse).
+* **Suffix normalization** — NumPy's ``savez`` silently appends
+  ``.npz``; both :func:`save_checkpoint` and :func:`load_checkpoint`
+  normalize the path the same way, and save returns the real path it
+  wrote, so ``save("ckpt")`` / ``load("ckpt")`` always agree.
+* **Resume state** — besides weights and Adam moments, the metadata
+  carries the global step, tokens seen, and the data pipeline's RNG
+  state, which is what lets a resumed run reproduce the uninterrupted
+  loss curve bitwise (:meth:`repro.training.trainer.Trainer.train` with
+  ``resume_from=``).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import asdict
 from pathlib import Path
 
@@ -22,15 +40,33 @@ from repro.training.optimizer import Adam, AdamState
 FORMAT_VERSION = 1
 
 
+def normalize_checkpoint_path(path: str | Path) -> Path:
+    """The path ``np.savez`` actually writes for ``path``: a ``.npz``
+    suffix is appended when missing (never *replacing* an existing
+    suffix — ``ckpt.step5`` becomes ``ckpt.step5.npz``)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
 def save_checkpoint(
     path: str | Path,
     model: GPTModel,
     *,
     optimizer: Adam | None = None,
     step: int = 0,
-) -> None:
-    """Write model (and optionally optimizer) state to ``path``."""
-    path = Path(path)
+    tokens_seen: int = 0,
+    data_state: dict | None = None,
+) -> Path:
+    """Write model (and optionally optimizer) state to ``path``,
+    atomically; returns the actual path written (``.npz``-suffixed).
+
+    ``step``/``tokens_seen``/``data_state`` record the training position
+    for exact resume: ``data_state`` is the JSON-serializable data-RNG
+    state from ``corpus.get_state()``.
+    """
+    path = normalize_checkpoint_path(path)
     arrays: dict[str, np.ndarray] = {}
     for name, value in model.all_params().items():
         arrays[f"param/{name}"] = value
@@ -41,6 +77,8 @@ def save_checkpoint(
     meta = {
         "format_version": FORMAT_VERSION,
         "step": step,
+        "tokens_seen": tokens_seen,
+        "data_state": data_state,
         "optimizer_t": optimizer.t if optimizer is not None else None,
         "config": asdict(model.config),
     }
@@ -48,11 +86,36 @@ def save_checkpoint(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **arrays)
+    # Write-to-temp + atomic rename: a crash mid-save leaves the old
+    # checkpoint untouched and at worst a stray ``*.tmp`` to sweep.
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def _read_meta(archive) -> dict:
     return json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+
+
+def checkpoint_meta(path: str | Path) -> dict:
+    """Metadata of a checkpoint without loading its tensors: format
+    version, step, tokens_seen, data_state, optimizer_t, config."""
+    with np.load(normalize_checkpoint_path(path)) as archive:
+        meta = _read_meta(archive)
+    meta.setdefault("tokens_seen", 0)
+    meta.setdefault("data_state", None)
+    return meta
 
 
 def load_checkpoint(
@@ -65,9 +128,11 @@ def load_checkpoint(
     saved step count.
 
     Raises ``ValueError`` on architecture mismatch or missing/extra
-    parameters — silent shape coercion is how checkpoints get corrupted.
+    parameters or optimizer-state entries — silent shape coercion is
+    how checkpoints get corrupted.  Use :func:`checkpoint_meta` to also
+    recover ``tokens_seen`` and the data-RNG state for exact resume.
     """
-    with np.load(Path(path)) as archive:
+    with np.load(normalize_checkpoint_path(path)) as archive:
         meta = _read_meta(archive)
         if meta["format_version"] != FORMAT_VERSION:
             raise ValueError(
@@ -91,6 +156,18 @@ def load_checkpoint(
         if optimizer is not None:
             if meta["optimizer_t"] is None:
                 raise ValueError("checkpoint has no optimizer state")
+            expected_opt = set(optimizer.state)
+            saved_m = {k[len("adam_m/"):] for k in archive.files
+                       if k.startswith("adam_m/")}
+            saved_v = {k[len("adam_v/"):] for k in archive.files
+                       if k.startswith("adam_v/")}
+            saved_opt = saved_m & saved_v
+            if saved_opt != expected_opt or saved_m != saved_v:
+                missing = sorted(expected_opt - saved_opt)[:4]
+                extra = sorted((saved_m | saved_v) - expected_opt)[:4]
+                raise ValueError(
+                    f"optimizer state mismatch: missing {missing}, extra {extra}"
+                )
             for name in optimizer.state:
                 optimizer.state[name] = AdamState(
                     m=archive[f"adam_m/{name}"].copy(),

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -25,6 +26,11 @@ from repro.telemetry.runlog import RunLogger, StepRecord
 from repro.training.data import SyntheticCorpus, make_batch
 from repro.training.optimizer import Adam
 from repro.training.schedule import clip_grad_norm, global_grad_norm
+from repro.training.serialization import (
+    checkpoint_meta,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 
 @dataclass
@@ -67,6 +73,14 @@ class Trainer:
         deltas from the runtime trace.  The trainer only *emits*; the
         caller finishes the log (``telemetry.finish(trainer.result)``)
         once the run — possibly several ``train`` calls — is over.
+    start_step:
+        Global step the first :meth:`step` call corresponds to.  A run
+        resumed from a step-500 checkpoint must continue the LR schedule
+        and telemetry step numbering at 500, not replay the warmup from
+        zero; :meth:`restore` sets this from the checkpoint.
+    tokens_seen:
+        Tokens consumed before this trainer started (same resume
+        bookkeeping; also restored from checkpoints).
     """
 
     def __init__(
@@ -80,6 +94,8 @@ class Trainer:
         lr_schedule=None,
         batch_fn=None,
         telemetry: RunLogger | None = None,
+        start_step: int = 0,
+        tokens_seen: int = 0,
     ):
         self.model = model
         self.corpus = corpus
@@ -94,10 +110,23 @@ class Trainer:
             lambda bs, sl: make_batch(self.corpus, bs, sl)
         )
         self.optimizer = Adam(model.all_params(), lr=lr)
-        self.result = TrainResult()
+        self.start_step = start_step
+        self.result = TrainResult(tokens_seen=tokens_seen)
+
+    @property
+    def global_step(self) -> int:
+        """Step number the *next* :meth:`step` call will execute:
+        ``start_step`` plus the steps this trainer already ran."""
+        return self.start_step + len(self.result.losses)
 
     def step(self, batch_size: int, seq_len: int) -> float:
         """One optimization step; returns the step's loss."""
+        if self.runner is not None:
+            injector = getattr(self.runner.cluster, "fault_injector", None)
+            if injector is not None:
+                # May raise InjectedCrash *before* any work — a crashed
+                # step leaves no partial state behind.
+                injector.on_step(self.global_step)
         t_start = time.perf_counter()
         trace = self.runner.cluster.trace if self.runner is not None else None
         event_start = len(trace.events) if trace is not None else 0
@@ -115,7 +144,7 @@ class Trainer:
         elif self.telemetry is not None:
             pre_clip_norm = global_grad_norm(grads)
         if self.lr_schedule is not None:
-            self.optimizer.lr = self.lr_schedule(len(self.result.losses))
+            self.optimizer.lr = self.lr_schedule(self.global_step)
         new_params = self.optimizer.step(self.model.all_params(), grads)
         for name, value in new_params.items():
             self.model.set_param(name, value)
@@ -137,7 +166,7 @@ class Trainer:
     ) -> None:
         """Build and log the step's :class:`StepRecord` (telemetry on)."""
         record = StepRecord(
-            step=len(self.result.losses) - 1,
+            step=self.start_step + len(self.result.losses) - 1,
             loss=float(loss),
             lr=float(self.optimizer.lr),
             tokens=tokens,
@@ -159,6 +188,9 @@ class Trainer:
             record.collective_count = sum(delta.collective_count.values())
             record.h2d_bytes = delta.h2d_bytes
             record.d2h_bytes = delta.d2h_bytes
+            record.fault_count = delta.fault_count
+            record.retry_count = delta.retry_count
+            record.retry_backoff_s = delta.retry_backoff_s
             arenas = [s["arena"] for s in mem["hbm"] if "arena" in s]
             record.arena_hits = sum(a["hits"] for a in arenas)
             record.arena_misses = sum(a["misses"] for a in arenas)
@@ -173,6 +205,46 @@ class Trainer:
         record.param_checksums = {rank: checksum for rank in range(world)}
         self.telemetry.log_step(record)
 
+    def save(self, path) -> Path:
+        """Checkpoint the full training position — weights, optimizer,
+        global step, tokens seen, data-RNG state — atomically to
+        ``path``; returns the actual (``.npz``-suffixed) path written."""
+        data_state = (
+            self.corpus.get_state()
+            if hasattr(self.corpus, "get_state") else None
+        )
+        return save_checkpoint(
+            path, self.model, optimizer=self.optimizer,
+            step=self.global_step,
+            tokens_seen=self.result.tokens_seen,
+            data_state=data_state,
+        )
+
+    def restore(self, path) -> int:
+        """Resume from a checkpoint written by :meth:`save`: loads
+        weights and optimizer state, repositions ``start_step`` /
+        ``tokens_seen`` / the corpus RNG, and returns the global step
+        training will continue from.
+
+        Must be called before any :meth:`step` on this trainer (the
+        loss curve restarts from the checkpoint, not mid-list).
+        """
+        if self.result.losses:
+            raise ValueError("restore() must precede training steps")
+        step = load_checkpoint(path, self.model, optimizer=self.optimizer)
+        meta = checkpoint_meta(path)
+        self.start_step = step
+        self.result.tokens_seen = int(meta.get("tokens_seen", 0))
+        data_state = meta.get("data_state")
+        if data_state is not None:
+            if not hasattr(self.corpus, "set_state"):
+                raise ValueError(
+                    "checkpoint carries data-RNG state but the corpus "
+                    f"({type(self.corpus).__name__}) cannot restore it"
+                )
+            self.corpus.set_state(data_state)
+        return step
+
     def train(
         self,
         num_steps: int,
@@ -180,18 +252,42 @@ class Trainer:
         batch_size: int = 4,
         seq_len: int = 32,
         profile: bool = False,
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
+        resume_from=None,
     ) -> TrainResult:
         """Run ``num_steps``; with ``profile=True`` (FPDT runner only),
         replay the accumulated runtime trace through the simulated-time
         profiler and attach the :class:`~repro.profiler.Profile` to the
-        result."""
+        result.
+
+        Checkpoint-restart support: ``resume_from`` restores a
+        checkpoint (weights, optimizer, step/token counters, data-RNG
+        position) before the first step, and ``checkpoint_every=k``
+        saves one atomically to ``checkpoint_path`` every ``k`` steps
+        (and once more after the final step).  A run that crashes
+        mid-way — e.g. an injected :class:`~repro.common.errors
+        .InjectedCrash` — and is resumed from its last checkpoint
+        reproduces the uninterrupted run's loss curve bitwise.
+        """
         if profile and self.runner is None:
             raise ValueError(
                 "profile=True needs an FPDT runner (the reference path "
                 "records no runtime trace)"
             )
-        for _ in range(num_steps):
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError("checkpoint_every must be >= 1")
+            if checkpoint_path is None:
+                raise ValueError("checkpoint_every requires checkpoint_path")
+        if resume_from is not None:
+            self.restore(resume_from)
+        for i in range(num_steps):
             self.step(batch_size, seq_len)
+            if checkpoint_every is not None and (
+                self.global_step % checkpoint_every == 0 or i == num_steps - 1
+            ):
+                self.save(checkpoint_path)
         if profile:
             from repro.profiler import profile_cluster
 

@@ -59,6 +59,22 @@ class TestParser:
         )
         assert (args.gpus, args.prefetch_depth, args.no_offload) == (4, 1, True)
 
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.steps is None and not args.quick
+        assert args.seed == 7
+        assert args.checkpoint_every == 2
+        assert args.crash_at is None
+
+    def test_chaos_flags(self):
+        args = build_parser().parse_args(
+            ["chaos", "--quick", "--steps", "4", "--crash-at", "2",
+             "--collective-rate", "0.2", "--run-log", "chaos.jsonl"]
+        )
+        assert (args.quick, args.steps, args.crash_at) == (True, 4, 2)
+        assert args.collective_rate == 0.2
+        assert args.run_log == "chaos.jsonl"
+
 
 class TestCommands:
     def test_plan_output(self, capsys):
@@ -93,6 +109,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "window 64K" in out
         assert "GPU-h/B tokens" in out
+
+    def test_chaos_quick_recovers_bitwise(self, capsys, tmp_path):
+        log = tmp_path / "chaos.jsonl"
+        assert main(["chaos", "--quick", "--run-log", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert "bitwise identical" in out
+        assert log.exists()
+
+    def test_chaos_bad_crash_step(self, capsys):
+        assert main(["chaos", "--quick", "--crash-at", "99"]) == 2
+        assert "--crash-at" in capsys.readouterr().err
 
     def test_profile_writes_chrome_trace(self, capsys, tmp_path):
         import json

@@ -9,9 +9,11 @@ from repro.models import GPTModel, tiny_gpt, tiny_llama
 from repro.training import (
     Adam,
     SyntheticCorpus,
+    checkpoint_meta,
     clip_grad_norm,
     global_grad_norm,
     load_checkpoint,
+    normalize_checkpoint_path,
     save_checkpoint,
     warmup_cosine_lr,
 )
@@ -192,3 +194,91 @@ class TestSerialization:
         opt = Adam(model.all_params())
         with pytest.raises(ValueError, match="no optimizer state"):
             load_checkpoint(path, GPTModel(cfg, seed=0), optimizer=opt)
+
+    def test_partial_optimizer_state_raises_valueerror_not_keyerror(
+        self, tmp_path
+    ):
+        """Regression: a checkpoint whose optimizer entries don't cover
+        the optimizer's parameters must fail with the documented
+        ValueError (naming what's missing), not a bare KeyError from
+        the archive lookup."""
+        cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1)
+        model, trainer = self._train_briefly(cfg)
+        path = tmp_path / "full.npz"
+        save_checkpoint(path, model, optimizer=trainer.optimizer, step=3)
+        # Corrupt the archive: drop one adam_m entry.
+        with np.load(path) as archive:
+            arrays = {k: archive[k] for k in archive.files}
+        dropped = next(k for k in arrays if k.startswith("adam_m/"))
+        del arrays[dropped]
+        np.savez(path, **arrays)
+
+        opt = Adam(model.all_params(), lr=1e-3)
+        with pytest.raises(ValueError, match="optimizer state mismatch"):
+            load_checkpoint(path, GPTModel(cfg, seed=0), optimizer=opt)
+        try:
+            load_checkpoint(path, GPTModel(cfg, seed=0), optimizer=opt)
+        except ValueError as exc:
+            assert dropped[len("adam_m/"):] in str(exc)
+
+    def test_suffixless_path_roundtrips(self, tmp_path):
+        """Regression: np.savez writes ``ckpt.npz`` for ``ckpt``; load
+        used to look for the bare name and fail.  Both sides now
+        normalize, and save returns the real path it wrote."""
+        cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1)
+        model, trainer = self._train_briefly(cfg)
+        bare = tmp_path / "ckpt"
+        written = save_checkpoint(bare, model, optimizer=trainer.optimizer, step=3)
+        assert written == tmp_path / "ckpt.npz"
+        assert written.exists() and not bare.exists()
+
+        restored = GPTModel(cfg, seed=9)
+        opt = Adam(restored.all_params(), lr=1e-3)
+        # Loading via the bare name works too.
+        assert load_checkpoint(bare, restored, optimizer=opt) == 3
+
+    def test_suffix_appended_never_replaced(self, tmp_path):
+        assert normalize_checkpoint_path(tmp_path / "a").name == "a.npz"
+        assert normalize_checkpoint_path(tmp_path / "a.npz").name == "a.npz"
+        # Dotted names keep their "suffix": step markers are not formats.
+        assert normalize_checkpoint_path(tmp_path / "a.step5").name == "a.step5.npz"
+
+    def test_crash_mid_save_preserves_previous_checkpoint(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: save used to write the destination in place, so
+        dying mid-write corrupted the previous checkpoint.  Now the
+        archive lands in a temp file and is os.replace-d: a crash
+        leaves the old file intact and no temp litter."""
+        cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1)
+        model, trainer = self._train_briefly(cfg)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, optimizer=trainer.optimizer, step=3)
+        good = path.read_bytes()
+
+        def explode(*args, **kwargs):
+            raise OSError("disk died mid-write")
+
+        monkeypatch.setattr(np, "savez", explode)
+        with pytest.raises(OSError, match="disk died"):
+            save_checkpoint(path, model, optimizer=trainer.optimizer, step=4)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == good  # old checkpoint untouched
+        assert list(tmp_path.glob("*.tmp")) == []  # temp file cleaned up
+        restored = GPTModel(cfg, seed=7)
+        opt = Adam(restored.all_params(), lr=1e-3)
+        assert load_checkpoint(path, restored, optimizer=opt) == 3
+
+    def test_meta_carries_resume_state(self, tmp_path):
+        cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1)
+        model, trainer = self._train_briefly(cfg)
+        state = {"kind": "synthetic", "rng": {"dummy": 1}}
+        path = save_checkpoint(
+            tmp_path / "meta", model, optimizer=trainer.optimizer,
+            step=5, tokens_seen=1234, data_state=state,
+        )
+        meta = checkpoint_meta(path)
+        assert meta["step"] == 5
+        assert meta["tokens_seen"] == 1234
+        assert meta["data_state"] == state

@@ -1,0 +1,91 @@
+"""End-to-end training-step benchmarks (the rank-executor's receipt).
+
+Unlike the kernel cases, which time one collective or attention loop,
+these time a **whole forward+backward step** of a tiny model at world 4
+— embedding through loss head through gradient assembly — under three
+strategies: the single-device reference, Ulysses, and FPDT with
+offloading.  The distributed cases are exactly the code the rank
+executor parallelizes, so on a multi-core host ``step_ulysses`` /
+``step_fpdt_offload`` shrink with ``--workers`` while ``step_reference``
+(no per-rank loop) does not; on one core all three match their serial
+baselines.  The committed baselines in ``results/`` were captured with
+the executor pinned serial, so the gate reads "no slower than the
+serial loop" everywhere and the speedup is visible in the diff on
+CI-class (multi-core) hardware.
+
+Model sizes are deliberately small: the point is fork-join overhead
+relative to per-rank compute, not BLAS throughput, and the full suite
+must stay CI-sized.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.bench.kernels import BenchCase
+
+STEP_WORLD = 4
+
+
+def _step_setup(quick: bool):
+    from repro.models import GPTModel, tiny_llama
+
+    cfg = tiny_llama(
+        hidden_size=32 if quick else 64,
+        num_heads=4,
+        num_kv_heads=2,
+        num_layers=2,
+    )
+    seq = 64 if quick else 128
+    model = GPTModel(cfg, seed=0)
+    rng = np.random.default_rng(0)
+    tokens = rng.integers(0, cfg.vocab_size, size=(1, seq))
+    labels = rng.integers(0, cfg.vocab_size, size=(1, seq))
+    return model, tokens, labels
+
+
+def _bench_step_reference(quick: bool) -> Callable[[], None]:
+    model, tokens, labels = _step_setup(quick)
+
+    def run() -> None:
+        model.forward_loss(tokens, labels)
+        model.backward_loss()
+
+    return run
+
+
+def _bench_step_ulysses(quick: bool) -> Callable[[], None]:
+    from repro.parallel import UlyssesModelRunner
+    from repro.runtime.device import VirtualCluster
+
+    model, tokens, labels = _step_setup(quick)
+    runner = UlyssesModelRunner(model, VirtualCluster(STEP_WORLD))
+
+    def run() -> None:
+        runner.forward_backward(tokens, labels)
+
+    return run
+
+
+def _bench_step_fpdt_offload(quick: bool) -> Callable[[], None]:
+    from repro.core import FPDTModelRunner
+    from repro.runtime.device import VirtualCluster
+
+    model, tokens, labels = _step_setup(quick)
+    runner = FPDTModelRunner(
+        model, VirtualCluster(STEP_WORLD), num_chunks=2, offload=True
+    )
+
+    def run() -> None:
+        runner.forward_backward(tokens, labels)
+
+    return run
+
+
+STEP_CASES: list[BenchCase] = [
+    BenchCase("step_reference", "step", _bench_step_reference, repeats=(10, 3)),
+    BenchCase("step_ulysses", "step", _bench_step_ulysses, repeats=(10, 3)),
+    BenchCase("step_fpdt_offload", "step", _bench_step_fpdt_offload, repeats=(5, 3)),
+]

@@ -52,6 +52,27 @@ def _add_hw_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="rank-executor threads (1 = serial; default: REPRO_EXECUTOR "
+             "or the CPU count)",
+    )
+
+
+def _configure_executor(args: argparse.Namespace) -> None:
+    """Install the process-wide rank executor from ``--workers`` (the
+    flag beats ``REPRO_EXECUTOR``; without it the env default stands)."""
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        from repro.runtime.executor import RankExecutor, set_executor
+
+        if workers < 1:
+            raise SystemExit("--workers must be >= 1")
+        backend = "serial" if workers == 1 else "threads"
+        set_executor(RankExecutor(backend, workers=workers))
+
+
 def _resolve_model(args: argparse.Namespace):
     cfg = MODEL_ZOO[args.model]
     if getattr(args, "window", None):
@@ -381,6 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="instead run one telemetry-instrumented FPDT-offload "
              "training run and write its JSONL run log to PATH",
     )
+    _add_workers_arg(p_train)
     p_train.set_defaults(fn=cmd_train)
 
     p_met = sub.add_parser(
@@ -435,6 +457,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-gate", action="store_true",
         help="report the diff but never fail",
     )
+    _add_workers_arg(p_bench)
     p_bench.set_defaults(fn=cmd_bench)
 
     p_prof = sub.add_parser(
@@ -454,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="results/profile_trace.json",
         metavar="PATH", help="Chrome-trace JSON output path",
     )
+    _add_workers_arg(p_prof)
     p_prof.set_defaults(fn=cmd_profile)
 
     p_chaos = sub.add_parser(
@@ -488,6 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_executor(args)
     return args.fn(args)
 
 

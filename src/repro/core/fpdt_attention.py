@@ -178,27 +178,26 @@ def fpdt_attention_forward(
         # compute releases it, serializing fetch and compute — the
         # ablation the profiler quantifies as exposed H2D time.
         ahead = prefetch_depth >= 2
-        if offload:
-            prefetchers = [
-                {
-                    "k": DoubleBufferPrefetcher(ctx.cache, cluster.devices[r], depth=prefetch_depth),
-                    "v": DoubleBufferPrefetcher(ctx.cache, cluster.devices[r], depth=prefetch_depth),
-                }
-                for r in range(world)
-            ]
-            if visible:
-                for r in range(world):
-                    prefetchers[r]["k"].prefetch(("k", r, visible[0]))
-                    prefetchers[r]["v"].prefetch(("v", r, visible[0]))
-        for idx, j in enumerate(visible):
-            for r in range(world):
+
+        # Rank-major fold: each rank's closure walks its entire visible
+        # chunk sequence (fetches, online updates, diagonal, finalize,
+        # offload) independently — the whole segment between the input
+        # and output all-to-alls is one fork-join region.
+        def fwd_rank(r, i=i, q_off=q_off):
+            if offload:
+                pref_k = DoubleBufferPrefetcher(ctx.cache, cluster.devices[r], depth=prefetch_depth)
+                pref_v = DoubleBufferPrefetcher(ctx.cache, cluster.devices[r], depth=prefetch_depth)
+                if visible:
+                    pref_k.prefetch(("k", r, visible[0]))
+                    pref_v.prefetch(("v", r, visible[0]))
+            for idx, j in enumerate(visible):
                 if offload:
                     if ahead and idx + 1 < len(visible):
                         nxt = visible[idx + 1]
-                        prefetchers[r]["k"].prefetch(("k", r, nxt))
-                        prefetchers[r]["v"].prefetch(("v", r, nxt))
-                    k_t = prefetchers[r]["k"].wait(("k", r, j))
-                    v_t = prefetchers[r]["v"].wait(("v", r, j))
+                        pref_k.prefetch(("k", r, nxt))
+                        pref_v.prefetch(("v", r, nxt))
+                    k_t = pref_k.wait(("k", r, j))
+                    v_t = pref_v.wait(("v", r, j))
                     k_arr, v_arr = k_t.data, v_t.data
                 else:
                     k_arr = store.data("k", r, j)
@@ -216,10 +215,9 @@ def fpdt_attention_forward(
                     v_t.free()
                     if not ahead and idx + 1 < len(visible):
                         nxt = visible[idx + 1]
-                        prefetchers[r]["k"].prefetch(("k", r, nxt))
-                        prefetchers[r]["v"].prefetch(("v", r, nxt))
-        # diagonal chunk.
-        for r in range(world):
+                        pref_k.prefetch(("k", r, nxt))
+                        pref_v.prefetch(("v", r, nxt))
+            # diagonal chunk.
             online_block_update(
                 states[r], q_hat[r].data, k_hat[r].data, v_hat[r].data,
                 scale=scale, q_offset=q_off, k_offset=q_off, window=window,
@@ -227,17 +225,17 @@ def fpdt_attention_forward(
             cluster.devices[r].compute(
                 "fpdt.attn_fwd", flops=_attn_fwd_flops(b, big_c, big_c, h_local, d) / 2
             )
-
-        # (4) finalize, save, all-to-all the output chunk back.
-        o_dev = []
-        for r in range(world):
+            # (4) finalize, save.
             o, lse = finalize_online(states[r])
             ctx.o_hat[r][i] = o
             ctx.lse[r][i] = lse
-            o_dev.append(cluster.devices[r].from_numpy(o, ACT_DTYPE, "fpdt.o"))
+            o_t = cluster.devices[r].from_numpy(o, ACT_DTYPE, "fpdt.o")
             store.store("q", r, i, q_hat[r])
             store.store("k", r, i, k_hat[r])
             store.store("v", r, i, v_hat[r])
+            return o_t
+
+        o_dev = cluster.rank_map(fwd_rank)
         o_back = all_to_all(cluster, o_dev, split_axis=1, concat_axis=2, tag="fpdt.o")
         for r, t in enumerate(o_back):
             o_local[r][i] = t.free()
@@ -279,9 +277,12 @@ def fpdt_attention_backward(
             cluster, [do_chunks[r][i] for r in range(world)], ACT_DTYPE, "fpdt.do"
         )
         do_hat = all_to_all(cluster, do_dev, split_axis=2, concat_axis=1, tag="fpdt.do")
-        for r in range(world):
+
+        def delta_rank(r, i=i):
             deltas[r][i] = compute_delta(ctx.o_hat[r][i], do_hat[r].data)
             store.store("do", r, i, do_hat[r])
+
+        cluster.rank_map(delta_rank)
 
     # Host-resident dq accumulators (fetched/updated per inner iteration).
     dq_host: list[list[np.ndarray]] = [
@@ -291,12 +292,14 @@ def fpdt_attention_backward(
     dk_local: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
     dv_local: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
 
-    # One preallocated (dq, dk, dv) destination trio for every block
-    # backward of the nested loop — the kernel overwrites them, the
-    # accumulations below read them out, no per-block gradient allocs.
-    dq_ws = workspace_rent((b, big_c, h_local, d))
-    dk_ws = workspace_rent((b, big_c, h_local, d))
-    dv_ws = workspace_rent((b, big_c, h_local, d))
+    # One preallocated (dq, dk, dv) destination trio **per rank** for
+    # every block backward of the nested loop — the kernel overwrites
+    # them, the accumulations below read them out, no per-block gradient
+    # allocs.  Per-rank trios (not one shared trio) because the rank
+    # closures of a fork-join round run concurrently.
+    dq_ws = [workspace_rent((b, big_c, h_local, d)) for _ in range(world)]
+    dk_ws = [workspace_rent((b, big_c, h_local, d)) for _ in range(world)]
+    dv_ws = [workspace_rent((b, big_c, h_local, d)) for _ in range(world)]
 
     ahead = prefetch_depth >= 2  # see the forward: depth 1 cannot overlap
     for j in range(u):  # outer loop: KV chunks
@@ -305,52 +308,46 @@ def fpdt_attention_backward(
             i for i in range(j, u)
             if block_is_visible(big_c, big_c, layout.gathered_offset(i), k_off, window)
         ]
-        if offload:
-            kv_pref = [
-                {
-                    "k": DoubleBufferPrefetcher(cache, cluster.devices[r], depth=prefetch_depth),
-                    "v": DoubleBufferPrefetcher(cache, cluster.devices[r], depth=prefetch_depth),
-                    "q": DoubleBufferPrefetcher(cache, cluster.devices[r], depth=prefetch_depth),
-                    "do": DoubleBufferPrefetcher(cache, cluster.devices[r], depth=prefetch_depth),
-                }
-                for r in range(world)
-            ]
-            for r in range(world):
-                kv_pref[r]["k"].prefetch(("k", r, j))
-                kv_pref[r]["v"].prefetch(("v", r, j))
-                if visible_q:
-                    kv_pref[r]["q"].prefetch(("q", r, visible_q[0]))
-                    kv_pref[r]["do"].prefetch(("do", r, visible_q[0]))
-            k_cur = [kv_pref[r]["k"].wait(("k", r, j)) for r in range(world)]
-            v_cur = [kv_pref[r]["v"].wait(("v", r, j)) for r in range(world)]
 
-        # float64 accumulators (accounted at activation width): gradient
-        # accumulation runs at full precision like the reference backward.
-        dk_acc = [
-            cluster.devices[r].from_numpy(
+        # Rank-major fold over the whole inner loop: each rank's closure
+        # walks its visible query chunks against KV chunk j and returns
+        # the finalized (dq_j, dk_j, dv_j) device tensors for the
+        # all-to-alls below.
+        def bwd_rank(r, j=j, k_off=k_off):
+            if offload:
+                pref_q = DoubleBufferPrefetcher(cache, cluster.devices[r], depth=prefetch_depth)
+                pref_do = DoubleBufferPrefetcher(cache, cluster.devices[r], depth=prefetch_depth)
+                pref_k = DoubleBufferPrefetcher(cache, cluster.devices[r], depth=prefetch_depth)
+                pref_v = DoubleBufferPrefetcher(cache, cluster.devices[r], depth=prefetch_depth)
+                pref_k.prefetch(("k", r, j))
+                pref_v.prefetch(("v", r, j))
+                if visible_q:
+                    pref_q.prefetch(("q", r, visible_q[0]))
+                    pref_do.prefetch(("do", r, visible_q[0]))
+                k_cur = pref_k.wait(("k", r, j))
+                v_cur = pref_v.wait(("v", r, j))
+
+            # float64 accumulators (accounted at activation width):
+            # gradient accumulation runs at full precision like the
+            # reference backward.
+            dk_acc = cluster.devices[r].from_numpy(
                 np.zeros((b, big_c, h_local, d)), ACT_DTYPE, "fpdt.dk_acc"
             )
-            for r in range(world)
-        ]
-        dv_acc = [
-            cluster.devices[r].from_numpy(
+            dv_acc = cluster.devices[r].from_numpy(
                 np.zeros((b, big_c, h_local, d)), ACT_DTYPE, "fpdt.dv_acc"
             )
-            for r in range(world)
-        ]
 
-        for pos, i in enumerate(visible_q):  # inner loop: visible query chunks
-            q_off = layout.gathered_offset(i)
-            for r in range(world):
+            for pos, i in enumerate(visible_q):  # inner loop: visible query chunks
+                q_off = layout.gathered_offset(i)
                 if offload:
                     if ahead and pos + 1 < len(visible_q):
                         nxt = visible_q[pos + 1]
-                        kv_pref[r]["q"].prefetch(("q", r, nxt))
-                        kv_pref[r]["do"].prefetch(("do", r, nxt))
-                    q_t = kv_pref[r]["q"].wait(("q", r, i))
-                    do_t = kv_pref[r]["do"].wait(("do", r, i))
+                        pref_q.prefetch(("q", r, nxt))
+                        pref_do.prefetch(("do", r, nxt))
+                    q_t = pref_q.wait(("q", r, i))
+                    do_t = pref_do.wait(("do", r, i))
                     q_arr, do_arr = q_t.data, do_t.data
-                    k_arr, v_arr = k_cur[r].data, v_cur[r].data
+                    k_arr, v_arr = k_cur.data, v_cur.data
                 else:
                     q_arr = store.data("q", r, i)
                     do_arr = store.data("do", r, i)
@@ -359,35 +356,39 @@ def fpdt_attention_backward(
                 dq_p, dk_p, dv_p = attention_block_backward(
                     q_arr, k_arr, v_arr, do_arr, ctx.lse[r][i], deltas[r][i],
                     scale=scale, q_offset=q_off, k_offset=k_off, window=window,
-                    dq_out=dq_ws, dk_out=dk_ws, dv_out=dv_ws,
+                    dq_out=dq_ws[r], dk_out=dk_ws[r], dv_out=dv_ws[r],
                 )
                 cluster.devices[r].compute(
                     "fpdt.attn_bwd",
                     flops=_attn_bwd_flops(b, big_c, big_c, h_local, d) / (2 if i == j else 1),
                 )
                 dq_host[r][i] += dq_p
-                dk_acc[r].data += dk_p
-                dv_acc[r].data += dv_p
+                dk_acc.data += dk_p
+                dv_acc.data += dv_p
                 if offload:
                     q_t.free()
                     do_t.free()
                     if not ahead and pos + 1 < len(visible_q):
                         nxt = visible_q[pos + 1]
-                        kv_pref[r]["q"].prefetch(("q", r, nxt))
-                        kv_pref[r]["do"].prefetch(("do", r, nxt))
-        if offload:
-            for r in range(world):
-                k_cur[r].free()
-                v_cur[r].free()
-                kv_pref[r]["q"].drain()
-                kv_pref[r]["do"].drain()
+                        pref_q.prefetch(("q", r, nxt))
+                        pref_do.prefetch(("do", r, nxt))
+            if offload:
+                k_cur.free()
+                v_cur.free()
+                pref_q.drain()
+                pref_do.drain()
 
-        # dq_j, dk_j, dv_j are final: all-to-all back to the local layout
-        # so the caller can run projection backward for chunk j now.
-        dq_dev = [
-            cluster.devices[r].from_numpy(dq_host[r][j], ACT_DTYPE, "fpdt.dq")
-            for r in range(world)
-        ]
+            # dq_j, dk_j, dv_j are final for this rank.
+            dq_t = cluster.devices[r].from_numpy(dq_host[r][j], ACT_DTYPE, "fpdt.dq")
+            return dq_t, dk_acc, dv_acc
+
+        finals = cluster.rank_map(bwd_rank)
+        dq_dev = [f[0] for f in finals]
+        dk_acc = [f[1] for f in finals]
+        dv_acc = [f[2] for f in finals]
+
+        # All-to-all back to the local layout so the caller can run
+        # projection backward for chunk j now.
         dq_b = all_to_all(cluster, dq_dev, split_axis=1, concat_axis=2, tag="fpdt.dq")
         dk_b = all_to_all(cluster, dk_acc, split_axis=1, concat_axis=2, tag="fpdt.dk")
         dv_b = all_to_all(cluster, dv_acc, split_axis=1, concat_axis=2, tag="fpdt.dv")
@@ -398,8 +399,7 @@ def fpdt_attention_backward(
         for r in range(world):
             dq_host[r][j] = None  # release the host accumulator
 
-    workspace_return(dq_ws)
-    workspace_return(dk_ws)
-    workspace_return(dv_ws)
+    for ws in (*dq_ws, *dk_ws, *dv_ws):
+        workspace_return(ws)
     ctx.release()
     return dq_local, dk_local, dv_local

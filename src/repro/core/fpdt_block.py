@@ -113,7 +113,8 @@ def fpdt_block_forward(
     k_chunks: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
     v_chunks: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
     batch = x_shards[0].shape[0]
-    for r in range(world):
+
+    def qkv_rank(r):
         for i in range(u):
             sl = layout.local_slice(i)
             qh, kh, vh, cache = attn_pre_forward(
@@ -128,6 +129,8 @@ def fpdt_block_forward(
                 flops=_qkv_proj_flops(cfg, batch, sl.stop - sl.start),
             )
 
+    cluster.rank_map(qkv_rank)
+
     # Phase 2: chunked distributed attention with offloading (+ optional
     # sliding window, under which out-of-window chunks are skipped).
     o_chunks, attn_ctx = fpdt_attention_forward(
@@ -138,8 +141,8 @@ def fpdt_block_forward(
 
     # Phase 3, chunked: output projection + residual per chunk.
     post_caches: list[list[dict]] = [[None] * u for _ in range(world)]
-    mid_shards = []
-    for r in range(world):
+
+    def out_proj_rank(r):
         mid = np.empty_like(x_shards[r])
         for i in range(u):
             sl = layout.local_slice(i)
@@ -153,13 +156,15 @@ def fpdt_block_forward(
                 "fpdt.out_proj_fwd",
                 flops=_out_proj_flops(cfg, batch, sl.stop - sl.start),
             )
-        mid_shards.append(mid)
+        return mid
+
+    mid_shards = cluster.rank_map(out_proj_rank)
 
     # Phase 4: FFN at 2x the attention chunk count, never offloaded.
     ffn_chunks = max(1, ffn_chunk_factor * u)
     ffn_caches: list[list[dict]] = [[] for _ in range(world)]
-    y_shards = []
-    for r in range(world):
+
+    def ffn_rank(r):
         y = np.empty_like(mid_shards[r])
         for lo, hi in _ffn_bounds(layout.s_local, ffn_chunks):
             _, cache = ffn_forward(
@@ -169,7 +174,9 @@ def fpdt_block_forward(
             cluster.devices[r].compute(
                 "fpdt.ffn_fwd", flops=_ffn_flops(cfg, batch, hi - lo), nbytes=(hi - lo)
             )
-        y_shards.append(y)
+        return y
+
+    y_shards = cluster.rank_map(ffn_rank)
 
     ctx = FPDTBlockContext(
         layout=layout, attn_ctx=attn_ctx, pre_caches=pre_caches,
@@ -197,36 +204,53 @@ def fpdt_block_backward(
 
     # FFN backward, 2u chunks (dx + dW: ~2x the forward GEMM volume).
     batch = dy_shards[0].shape[0]
-    dmid_shards = []
-    for r in range(world):
+
+    # Weight-gradient contributions come back from the rank closures and
+    # fold at the join in (rank, chunk) order — the serial loop's exact
+    # float accumulation order (executor-on/off bitwise identity).
+    def ffn_bwd_rank(r):
         dmid = np.empty_like(dy_shards[r])
+        chunk_grads = []
         for (lo, hi), cache in zip(
             _ffn_bounds(layout.s_local, ctx.ffn_chunks), ctx.ffn_caches[r]
         ):
             dx_chunk, g = ffn_backward(dy_shards[r][:, lo:hi], cache)
-            accumulate_grads(grads, g)
+            chunk_grads.append(g)
             dmid[:, lo:hi] = dx_chunk
             cluster.devices[r].compute(
                 "fpdt.ffn_bwd",
                 flops=2.0 * _ffn_flops(cfg, batch, hi - lo),
                 nbytes=(hi - lo),
             )
+        return dmid, chunk_grads
+
+    dmid_shards = []
+    for dmid, chunk_grads in cluster.rank_map(ffn_bwd_rank):
+        for g in chunk_grads:
+            accumulate_grads(grads, g)
         dmid_shards.append(dmid)
 
     # Output-projection backward per chunk -> do chunks in local layout.
     do_chunks: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
     dres_chunks: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
-    for r in range(world):
+
+    def out_proj_bwd_rank(r):
+        chunk_grads = []
         for i in range(u):
             sl = layout.local_slice(i)
             do, dres, g = attn_post_backward(dmid_shards[r][:, sl], ctx.post_caches[r][i])
-            accumulate_grads(grads, g)
+            chunk_grads.append(g)
             do_chunks[r][i] = do
             dres_chunks[r][i] = dres
             cluster.devices[r].compute(
                 "fpdt.out_proj_bwd",
                 flops=2.0 * _out_proj_flops(cfg, batch, sl.stop - sl.start),
             )
+        return chunk_grads
+
+    for chunk_grads in cluster.rank_map(out_proj_bwd_rank):
+        for g in chunk_grads:
+            accumulate_grads(grads, g)
 
     # Attention nested-loop backward.
     dq_chunks, dk_chunks, dv_chunks = fpdt_attention_backward(
@@ -234,20 +258,26 @@ def fpdt_block_backward(
     )
 
     # QKV-projection backward per chunk (+ residual assembly).
-    dx_shards = []
-    for r in range(world):
+    def qkv_bwd_rank(r):
         dx = np.empty_like(dy_shards[r])
+        chunk_grads = []
         for i in range(u):
             sl = layout.local_slice(i)
             dx_pre, g = attn_pre_backward(
                 cfg, dq_chunks[r][i], dk_chunks[r][i], dv_chunks[r][i],
                 ctx.pre_caches[r][i],
             )
-            accumulate_grads(grads, g)
+            chunk_grads.append(g)
             np.add(dres_chunks[r][i], dx_pre, out=dx[:, sl])
             cluster.devices[r].compute(
                 "fpdt.qkv_proj_bwd",
                 flops=2.0 * _qkv_proj_flops(cfg, batch, sl.stop - sl.start),
             )
+        return dx, chunk_grads
+
+    dx_shards = []
+    for dx, chunk_grads in cluster.rank_map(qkv_bwd_rank):
+        for g in chunk_grads:
+            accumulate_grads(grads, g)
         dx_shards.append(dx)
     return dx_shards, grads

@@ -113,16 +113,18 @@ class FPDTModelRunner:
         positions = [layout.shard_indices(r) for r in range(world)]
 
         # Embedding (+ learned positions for GPT), token-local.
-        x_shards, embed_caches = [], []
-        for r in range(world):
+        def embed_rank(r):
             x, cache = embedding_forward(token_shards[r], model.params["embed.table"])
             if not cfg.uses_rope:
                 table = model.params["embed.positions"]
                 if positions[r].max() >= table.shape[0]:
                     raise ShapeError("sequence longer than position table")
                 x = x + table[positions[r]][None, :, :]
-            x_shards.append(x)
-            embed_caches.append(cache)
+            return x, cache
+
+        embedded = cluster.rank_map(embed_rank)
+        x_shards = [x for x, _ in embedded]
+        embed_caches = [cache for _, cache in embedded]
 
         # Chunked blocks: with AC, layer state is dropped and recomputed
         # in the backward from host-offloaded checkpoints.
@@ -148,9 +150,8 @@ class FPDTModelRunner:
 
         # Final norm + chunked loss head, per rank.
         n_valid_global = int(np.sum(labels != IGNORE_INDEX))
-        total_loss = 0.0
-        fn_caches, head_caches = [], []
-        for r in range(world):
+
+        def loss_rank(r):
             if cfg.arch == "gpt":
                 normed, fn_cache = layernorm_forward(
                     x_shards[r],
@@ -170,29 +171,41 @@ class FPDTModelRunner:
                 num_chunks=self.loss_chunks,
             )
             n_valid_r = int(np.sum(flat_labels != IGNORE_INDEX))
+            return loss_r, n_valid_r, fn_cache, head_cache, (b, s_local, h)
+
+        # Join fold in rank order: the loss sum keeps the serial loop's
+        # exact float reduction order (executor-on/off bitwise identity).
+        total_loss = 0.0
+        fn_caches, head_caches = [], []
+        for loss_r, n_valid_r, fn_cache, head_cache, shape in cluster.rank_map(loss_rank):
             total_loss += loss_r * n_valid_r
             fn_caches.append(fn_cache)
-            head_caches.append((head_cache, n_valid_r, (b, s_local, h)))
+            head_caches.append((head_cache, n_valid_r, shape))
         loss = total_loss / max(n_valid_global, 1)
 
         # ---------------- backward ----------------
         cluster.trace.mark_phase("backward")
         grads: dict[str, np.ndarray] = {}
-        dx_shards = []
-        dembed_head_total = 0
-        for r in range(world):
+
+        def head_bwd_rank(r):
             head_cache, n_valid_r, (b, s_local, h) = head_caches[r]
             # Rescale the per-rank mean gradient to the global mean.
             scale = n_valid_r / max(n_valid_global, 1)
             dhid_flat, dembed_head = chunked_lm_head_backward(head_cache, grad_scale=scale)
-            dembed_head_total = dembed_head_total + dembed_head
             dnormed = dhid_flat.reshape(b, s_local, h)
             if cfg.arch == "gpt":
                 dx, dg, dbeta = layernorm_backward(dnormed, fn_caches[r])
-                accumulate_grads(grads, {"final_norm.gamma": dg, "final_norm.beta": dbeta})
+                g_norm = {"final_norm.gamma": dg, "final_norm.beta": dbeta}
             else:
                 dx, dg = rmsnorm_backward(dnormed, fn_caches[r])
-                accumulate_grads(grads, {"final_norm.gamma": dg})
+                g_norm = {"final_norm.gamma": dg}
+            return dembed_head, dx, g_norm
+
+        dx_shards = []
+        dembed_head_total = 0
+        for dembed_head, dx, g_norm in cluster.rank_map(head_bwd_rank):
+            dembed_head_total = dembed_head_total + dembed_head
+            accumulate_grads(grads, g_norm)
             dx_shards.append(dx)
 
         if ckpt_stack is not None:
@@ -206,14 +219,18 @@ class FPDTModelRunner:
                 )
 
         # Embedding backward (positions table + token table), summed over ranks.
+        def embed_bwd_rank(r):
+            dpos_r = None if cfg.uses_rope else dx_shards[r].sum(axis=0)
+            return dpos_r, embedding_backward(dx_shards[r], embed_caches[r])
+
         dtable_total = dembed_head_total
         dpos_total = None
-        for r in range(world):
-            if not cfg.uses_rope:
+        for r, (dpos_r, dtable_r) in enumerate(cluster.rank_map(embed_bwd_rank)):
+            if dpos_r is not None:
                 if dpos_total is None:
                     dpos_total = np.zeros_like(model.params["embed.positions"])
-                np.add.at(dpos_total, positions[r], dx_shards[r].sum(axis=0))
-            dtable_total = dtable_total + embedding_backward(dx_shards[r], embed_caches[r])
+                np.add.at(dpos_total, positions[r], dpos_r)
+            dtable_total = dtable_total + dtable_r
         grads["embed.table"] = dtable_total
         if dpos_total is not None:
             grads["embed.positions"] = dpos_total
@@ -228,12 +245,13 @@ class FPDTModelRunner:
         world = cluster.world_size
         token_shards = shard_sequence(tokens, layout)
         positions = [layout.shard_indices(r) for r in range(world)]
-        x_shards = []
-        for r in range(world):
+        def embed_rank(r):
             x, _ = embedding_forward(token_shards[r], model.params["embed.table"])
             if not cfg.uses_rope:
                 x = x + model.params["embed.positions"][positions[r]][None, :, :]
-            x_shards.append(x)
+            return x
+
+        x_shards = cluster.rank_map(embed_rank)
         for block in model.blocks:
             x_shards, ctx = fpdt_block_forward(
                 cluster, block.params, cfg, layout, x_shards,
@@ -241,8 +259,7 @@ class FPDTModelRunner:
                 prefetch_depth=self.prefetch_depth,
             )
             ctx.attn_ctx.release()
-        outs = []
-        for r in range(world):
+        def norm_rank(r):
             if cfg.arch == "gpt":
                 normed, _ = layernorm_forward(
                     x_shards[r],
@@ -251,5 +268,7 @@ class FPDTModelRunner:
                 )
             else:
                 normed, _ = rmsnorm_forward(x_shards[r], model.params["final_norm.gamma"])
-            outs.append(normed)
+            return normed
+
+        outs = cluster.rank_map(norm_rank)
         return unshard_sequence(outs, layout)

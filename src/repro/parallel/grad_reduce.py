@@ -76,10 +76,11 @@ def bucketed_grad_allreduce(
     scale = 1.0 / world if average else 1.0
     for bucket in _bucket_plan(shapes, bucket_elems):
         # Flatten this bucket per rank (the contiguous send buffer).
-        flats = [
-            np.concatenate([grads_per_rank[r][n].reshape(-1) for n in bucket])
-            for r in range(world)
-        ]
+        flats = cluster.rank_map(
+            lambda r: np.concatenate(
+                [grads_per_rank[r][n].reshape(-1) for n in bucket]
+            )
+        )
         send = as_device_tensors(cluster, flats, GRAD_DTYPE, "grad.bucket")
         out = all_reduce(cluster, send, tag="grad.bucket")
         total = out[0].data * scale

@@ -121,15 +121,15 @@ def _norm_fwd(params, cfg, x, which):
     return rmsnorm_forward(x, params[f"{which}.gamma"])
 
 
-def _norm_bwd(grads, cfg, dy, cache, which):
+def _norm_bwd(cfg, dy, cache, which):
+    """Pure norm backward: returns ``(dx, contributions)`` where the
+    contributions are ``(key, value)`` pairs in accumulation order — the
+    caller folds them with :func:`_acc` at the fork-join."""
     if cfg.arch == "gpt":
         dx, dg, db = layernorm_backward(dy, cache)
-        _acc(grads, f"{which}.gamma", dg)
-        _acc(grads, f"{which}.beta", db)
-    else:
-        dx, dg = rmsnorm_backward(dy, cache)
-        _acc(grads, f"{which}.gamma", dg)
-    return dx
+        return dx, ((f"{which}.gamma", dg), (f"{which}.beta", db))
+    dx, dg = rmsnorm_backward(dy, cache)
+    return dx, ((f"{which}.gamma", dg),)
 
 
 def _acc(grads: dict, key: str, val: np.ndarray) -> None:
@@ -152,11 +152,9 @@ def megatron_block_forward(
     gpt = cfg.arch == "gpt"
 
     # --- attention sub-layer ---
-    norm1_caches, normed_shards = [], []
-    for x in x_shards:
-        n, c = _norm_fwd(params, cfg, x, "ln1")
-        norm1_caches.append(c)
-        normed_shards.append(n)
+    norm1 = cluster.rank_map(lambda r: _norm_fwd(params, cfg, x_shards[r], "ln1"))
+    normed_shards = [n for n, _ in norm1]
+    norm1_caches = [c for _, c in norm1]
     normed_dev = as_device_tensors(cluster, normed_shards, ACT_DTYPE, "mp.normed")
     normed_full = free_all(
         all_gather(cluster, normed_dev, axis=1, tag="mp.normed")
@@ -166,8 +164,7 @@ def megatron_block_forward(
     if cfg.uses_rope:
         rope_cache = make_rope_cache(d, np.arange(s_global), cfg.rope_theta)
 
-    qs, ks, vs, os_, lses, partials = [], [], [], [], [], []
-    for rank in range(world):
+    def attn_rank(rank):
         full = normed_full[rank]
         qc, kc = sharding.q_cols(rank), sharding.kv_cols(rank)
         q = full @ params["attn.wq"][:, qc]
@@ -189,57 +186,64 @@ def megatron_block_forward(
         )
         merged = o.reshape(b, s_global, sharding.h_local * d)
         partial = merged @ params["attn.wo"][sharding.q_cols(rank), :]
-        qs.append(qh)
-        ks.append(kh)
-        vs.append(vh)
-        os_.append(o)
-        lses.append(lse)
-        partials.append(partial)
+        return qh, kh, vh, o, lse, partial
+
+    attn = cluster.rank_map(attn_rank)
+    qs = [a[0] for a in attn]
+    ks = [a[1] for a in attn]
+    vs = [a[2] for a in attn]
+    os_ = [a[3] for a in attn]
+    lses = [a[4] for a in attn]
+    partials = [a[5] for a in attn]
 
     partial_dev = as_device_tensors(cluster, partials, ACT_DTYPE, "mp.attn_partial")
     out_shards = free_all(reduce_scatter(cluster, partial_dev, axis=1, tag="mp.attn"))
-    mid_shards = []
-    for x, out in zip(x_shards, out_shards):
+
+    def residual_rank(rank):
+        out = out_shards[rank]
         if gpt:
             out = out + params["attn.bo"]
-        mid_shards.append(x + out)
+        return x_shards[rank] + out
+
+    mid_shards = cluster.rank_map(residual_rank)
 
     # --- FFN sub-layer ---
-    norm2_caches, normed2_shards = [], []
-    for x in mid_shards:
-        n, c = _norm_fwd(params, cfg, x, "ln2")
-        norm2_caches.append(c)
-        normed2_shards.append(n)
+    norm2 = cluster.rank_map(lambda r: _norm_fwd(params, cfg, mid_shards[r], "ln2"))
+    normed2_shards = [n for n, _ in norm2]
+    norm2_caches = [c for _, c in norm2]
     normed2_dev = as_device_tensors(cluster, normed2_shards, ACT_DTYPE, "mp.normed2")
     normed2_full = free_all(all_gather(cluster, normed2_dev, axis=1, tag="mp.normed2"))
 
-    act_in, act_out, act_caches, partials2 = [], [], [], []
-    for rank in range(world):
+    def ffn_rank(rank):
         full = normed2_full[rank]
         fc = sharding.ffn_cols(rank)
         if gpt:
             h1 = full @ params["ffn.w1"][:, fc] + params["ffn.b1"][fc]
             act, a_cache = gelu_forward(h1)
             partial = act @ params["ffn.w2"][fc, :]
-            act_in.append(h1)
-            act_caches.append(a_cache)
-        else:
-            gate = full @ params["ffn.w_gate"][:, fc]
-            up = full @ params["ffn.w_up"][:, fc]
-            sgate, a_cache = silu_forward(gate)
-            act = sgate * up
-            partial = act @ params["ffn.w_down"][fc, :]
-            act_in.append((gate, up, sgate))
-            act_caches.append(a_cache)
-        act_out.append(act)
-        partials2.append(partial)
+            return h1, act, a_cache, partial
+        gate = full @ params["ffn.w_gate"][:, fc]
+        up = full @ params["ffn.w_up"][:, fc]
+        sgate, a_cache = silu_forward(gate)
+        act = sgate * up
+        partial = act @ params["ffn.w_down"][fc, :]
+        return (gate, up, sgate), act, a_cache, partial
+
+    ffn = cluster.rank_map(ffn_rank)
+    act_in = [f[0] for f in ffn]
+    act_out = [f[1] for f in ffn]
+    act_caches = [f[2] for f in ffn]
+    partials2 = [f[3] for f in ffn]
     partial2_dev = as_device_tensors(cluster, partials2, ACT_DTYPE, "mp.ffn_partial")
     ffn_shards = free_all(reduce_scatter(cluster, partial2_dev, axis=1, tag="mp.ffn"))
-    y_shards = []
-    for mid, out in zip(mid_shards, ffn_shards):
+
+    def ffn_residual_rank(rank):
+        out = ffn_shards[rank]
         if gpt:
             out = out + params["ffn.b2"]
-        y_shards.append(mid + out)
+        return mid_shards[rank] + out
+
+    y_shards = cluster.rank_map(ffn_residual_rank)
 
     ctx = MegatronBlockContext(
         sharding=sharding, norm1_caches=norm1_caches, norm2_caches=norm2_caches,
@@ -274,37 +278,43 @@ def megatron_block_backward(
 
     # --- FFN backward ---
     if gpt:
-        for dy in dy_shards:
-            _acc(grads, "ffn.b2", dy.reshape(-1, H).sum(axis=0))
+        for db2 in cluster.rank_map(lambda r: dy_shards[r].reshape(-1, H).sum(axis=0)):
+            _acc(grads, "ffn.b2", db2)
     dy_dev = as_device_tensors(cluster, list(dy_shards), ACT_DTYPE, "mp.dffn")
     dpartial2_full = free_all(all_gather(cluster, dy_dev, axis=1, tag="mp.dffn"))
 
-    dw1_slices, dw2_slices, db1_slices = [], [], []
-    dgate_slices, dup_slices, ddown_slices = [], [], []
-    dnormed2_partials = []
-    for rank in range(world):
+    def ffn_bwd_rank(rank):
         dpart = dpartial2_full[rank]
         fc = sh.ffn_cols(rank)
         full = ctx.normed2_full[rank]
         if gpt:
             dact = dpart @ params["ffn.w2"][fc, :].T
-            dw2_slices.append(ctx.act_out[rank].reshape(-1, dact.shape[-1]).T @ dpart.reshape(-1, H))
+            dw2 = ctx.act_out[rank].reshape(-1, dact.shape[-1]).T @ dpart.reshape(-1, H)
             dh1 = gelu_backward(dact, ctx.act_caches[rank])
-            dw1_slices.append(full.reshape(-1, H).T @ dh1.reshape(-1, dh1.shape[-1]))
-            db1_slices.append(dh1.reshape(-1, dh1.shape[-1]).sum(axis=0))
-            dnormed2_partials.append(dh1 @ params["ffn.w1"][:, fc].T)
-        else:
-            gate, up, sgate = ctx.act_in[rank]
-            dact = dpart @ params["ffn.w_down"][fc, :].T
-            ddown_slices.append(ctx.act_out[rank].reshape(-1, dact.shape[-1]).T @ dpart.reshape(-1, H))
-            dsgate = dact * up
-            dup = dact * sgate
-            dgate = silu_backward(dsgate, ctx.act_caches[rank])
-            dgate_slices.append(full.reshape(-1, H).T @ dgate.reshape(-1, dgate.shape[-1]))
-            dup_slices.append(full.reshape(-1, H).T @ dup.reshape(-1, dup.shape[-1]))
-            dnormed2_partials.append(
-                dgate @ params["ffn.w_gate"][:, fc].T + dup @ params["ffn.w_up"][:, fc].T
-            )
+            dw1 = full.reshape(-1, H).T @ dh1.reshape(-1, dh1.shape[-1])
+            db1 = dh1.reshape(-1, dh1.shape[-1]).sum(axis=0)
+            return (dw1, db1, dw2), dh1 @ params["ffn.w1"][:, fc].T
+        gate, up, sgate = ctx.act_in[rank]
+        dact = dpart @ params["ffn.w_down"][fc, :].T
+        ddown = ctx.act_out[rank].reshape(-1, dact.shape[-1]).T @ dpart.reshape(-1, H)
+        dsgate = dact * up
+        dup = dact * sgate
+        dgate = silu_backward(dsgate, ctx.act_caches[rank])
+        dgate_w = full.reshape(-1, H).T @ dgate.reshape(-1, dgate.shape[-1])
+        dup_w = full.reshape(-1, H).T @ dup.reshape(-1, dup.shape[-1])
+        dnormed2 = dgate @ params["ffn.w_gate"][:, fc].T + dup @ params["ffn.w_up"][:, fc].T
+        return (dgate_w, dup_w, ddown), dnormed2
+
+    ffn_bwd = cluster.rank_map(ffn_bwd_rank)
+    dnormed2_partials = [f[1] for f in ffn_bwd]
+    if gpt:
+        dw1_slices = [f[0][0] for f in ffn_bwd]
+        db1_slices = [f[0][1] for f in ffn_bwd]
+        dw2_slices = [f[0][2] for f in ffn_bwd]
+    else:
+        dgate_slices = [f[0][0] for f in ffn_bwd]
+        dup_slices = [f[0][1] for f in ffn_bwd]
+        ddown_slices = [f[0][2] for f in ffn_bwd]
     if gpt:
         grads["ffn.w1"] = np.concatenate(dw1_slices, axis=1)
         grads["ffn.b1"] = np.concatenate(db1_slices)
@@ -317,28 +327,31 @@ def megatron_block_backward(
     dn2_dev = as_device_tensors(cluster, dnormed2_partials, ACT_DTYPE, "mp.dnormed2")
     dnormed2_shards = free_all(reduce_scatter(cluster, dn2_dev, axis=1, tag="mp.dnormed2"))
 
+    def dmid_rank(rank):
+        dmid, contribs = _norm_bwd(cfg, dnormed2_shards[rank], ctx.norm2_caches[rank], "ln2")
+        return dmid + dy_shards[rank], contribs  # FFN residual
+
     dmid_shards = []
-    for rank in range(world):
-        dmid = _norm_bwd(grads, cfg, dnormed2_shards[rank], ctx.norm2_caches[rank], "ln2")
-        dmid_shards.append(dmid + dy_shards[rank])  # FFN residual
+    for dmid, contribs in cluster.rank_map(dmid_rank):
+        dmid_shards.append(dmid)
+        for key, val in contribs:
+            _acc(grads, key, val)
 
     # --- attention backward ---
     if gpt:
-        for dmid in dmid_shards:
-            _acc(grads, "attn.bo", dmid.reshape(-1, H).sum(axis=0))
+        for dbo in cluster.rank_map(lambda r: dmid_shards[r].reshape(-1, H).sum(axis=0)):
+            _acc(grads, "attn.bo", dbo)
     dmid_dev = as_device_tensors(cluster, list(dmid_shards), ACT_DTYPE, "mp.dattn")
     dpartial_full = free_all(all_gather(cluster, dmid_dev, axis=1, tag="mp.dattn"))
 
-    dwq_s, dwk_s, dwv_s, dwo_s = [], [], [], []
-    dbq_s, dbk_s, dbv_s = [], [], []
-    dnormed_partials = []
     g = cfg.gqa_group_size
-    for rank in range(world):
+
+    def attn_bwd_rank(rank):
         dpart = dpartial_full[rank]
         qc, kc = sh.q_cols(rank), sh.kv_cols(rank)
         o = ctx.o_heads[rank]
         merged = o.reshape(b, s_global, sh.h_local * d)
-        dwo_s.append(merged.reshape(-1, merged.shape[-1]).T @ dpart.reshape(-1, H))
+        dwo = merged.reshape(-1, merged.shape[-1]).T @ dpart.reshape(-1, H)
         dmerged = dpart @ params["attn.wo"][qc, :].T
         do = dmerged.reshape(b, s_global, sh.h_local, d)
         qh, kh, vh = ctx.q_heads[rank], ctx.k_heads[rank], ctx.v_heads[rank]
@@ -356,18 +369,33 @@ def megatron_block_backward(
         dv = dvh.reshape(b, s_global, sh.kv_local * d)
         full = ctx.normed_full[rank]
         flat = full.reshape(-1, H)
-        dwq_s.append(flat.T @ dq.reshape(-1, dq.shape[-1]))
-        dwk_s.append(flat.T @ dk.reshape(-1, dk.shape[-1]))
-        dwv_s.append(flat.T @ dv.reshape(-1, dv.shape[-1]))
+        dwq = flat.T @ dq.reshape(-1, dq.shape[-1])
+        dwk = flat.T @ dk.reshape(-1, dk.shape[-1])
+        dwv = flat.T @ dv.reshape(-1, dv.shape[-1])
+        biases = None
         if gpt:
-            dbq_s.append(dq.reshape(-1, dq.shape[-1]).sum(axis=0))
-            dbk_s.append(dk.reshape(-1, dk.shape[-1]).sum(axis=0))
-            dbv_s.append(dv.reshape(-1, dv.shape[-1]).sum(axis=0))
-        dnormed_partials.append(
+            biases = (
+                dq.reshape(-1, dq.shape[-1]).sum(axis=0),
+                dk.reshape(-1, dk.shape[-1]).sum(axis=0),
+                dv.reshape(-1, dv.shape[-1]).sum(axis=0),
+            )
+        dnormed = (
             dq @ params["attn.wq"][:, qc].T
             + dk @ params["attn.wk"][:, kc].T
             + dv @ params["attn.wv"][:, kc].T
         )
+        return dwq, dwk, dwv, dwo, biases, dnormed
+
+    attn_bwd = cluster.rank_map(attn_bwd_rank)
+    dwq_s = [a[0] for a in attn_bwd]
+    dwk_s = [a[1] for a in attn_bwd]
+    dwv_s = [a[2] for a in attn_bwd]
+    dwo_s = [a[3] for a in attn_bwd]
+    dnormed_partials = [a[5] for a in attn_bwd]
+    if gpt:
+        dbq_s = [a[4][0] for a in attn_bwd]
+        dbk_s = [a[4][1] for a in attn_bwd]
+        dbv_s = [a[4][2] for a in attn_bwd]
     grads["attn.wq"] = np.concatenate(dwq_s, axis=1)
     grads["attn.wk"] = np.concatenate(dwk_s, axis=1)
     grads["attn.wv"] = np.concatenate(dwv_s, axis=1)
@@ -380,8 +408,13 @@ def megatron_block_backward(
     dn_dev = as_device_tensors(cluster, dnormed_partials, ACT_DTYPE, "mp.dnormed")
     dnormed_shards = free_all(reduce_scatter(cluster, dn_dev, axis=1, tag="mp.dnormed"))
 
+    def dx_rank(rank):
+        dx, contribs = _norm_bwd(cfg, dnormed_shards[rank], ctx.norm1_caches[rank], "ln1")
+        return dx + dmid_shards[rank], contribs  # attention residual
+
     dx_shards = []
-    for rank in range(world):
-        dx = _norm_bwd(grads, cfg, dnormed_shards[rank], ctx.norm1_caches[rank], "ln1")
-        dx_shards.append(dx + dmid_shards[rank])  # attention residual
+    for dx, contribs in cluster.rank_map(dx_rank):
+        dx_shards.append(dx)
+        for key, val in contribs:
+            _acc(grads, key, val)
     return dx_shards, grads

@@ -80,13 +80,15 @@ class ContiguousShardRunner:
         label_shards = np.split(labels, world, axis=1)
         positions = [np.arange(r * s_local, (r + 1) * s_local) for r in range(world)]
 
-        x_shards, embed_caches = [], []
-        for r in range(world):
+        def embed_rank(r):
             x, cache = embedding_forward(token_shards[r], model.params["embed.table"])
             if not cfg.uses_rope:
                 x = x + model.params["embed.positions"][positions[r]][None, :, :]
-            x_shards.append(x)
-            embed_caches.append(cache)
+            return x, cache
+
+        embedded = cluster.rank_map(embed_rank)
+        x_shards = [x for x, _ in embedded]
+        embed_caches = [cache for _, cache in embedded]
 
         block_ctxs = []
         for block in model.blocks:
@@ -94,9 +96,8 @@ class ContiguousShardRunner:
             block_ctxs.append(ctx)
 
         n_valid_global = int(np.sum(labels != IGNORE_INDEX))
-        total_loss = 0.0
-        fn_caches, head_caches = [], []
-        for r in range(world):
+
+        def loss_rank(r):
             if cfg.arch == "gpt":
                 normed, fn_cache = layernorm_forward(
                     x_shards[r],
@@ -115,27 +116,38 @@ class ContiguousShardRunner:
                 num_chunks=self.loss_chunks,
             )
             n_valid_r = int(np.sum(flat_labels != IGNORE_INDEX))
+            return loss_r, n_valid_r, fn_cache, head_cache
+
+        # Join fold in rank order: the loss sum keeps the serial loop's
+        # exact float reduction order (executor-on/off bitwise identity).
+        total_loss = 0.0
+        fn_caches, head_caches = [], []
+        for loss_r, n_valid_r, fn_cache, head_cache in cluster.rank_map(loss_rank):
             total_loss += loss_r * n_valid_r
             fn_caches.append(fn_cache)
             head_caches.append((head_cache, n_valid_r))
         loss = total_loss / max(n_valid_global, 1)
 
-        grads: dict[str, np.ndarray] = {}
-        dx_shards = []
-        dembed_head_total = 0
-        for r in range(world):
+        def head_bwd_rank(r):
             head_cache, n_valid_r = head_caches[r]
             dhid, dembed_head = chunked_lm_head_backward(
                 head_cache, grad_scale=n_valid_r / max(n_valid_global, 1)
             )
-            dembed_head_total = dembed_head_total + dembed_head
             dnormed = dhid.reshape(b, s_local, cfg.hidden_size)
             if cfg.arch == "gpt":
                 dx, dg, dbeta = layernorm_backward(dnormed, fn_caches[r])
-                accumulate_grads(grads, {"final_norm.gamma": dg, "final_norm.beta": dbeta})
+                g_norm = {"final_norm.gamma": dg, "final_norm.beta": dbeta}
             else:
                 dx, dg = rmsnorm_backward(dnormed, fn_caches[r])
-                accumulate_grads(grads, {"final_norm.gamma": dg})
+                g_norm = {"final_norm.gamma": dg}
+            return dembed_head, dx, g_norm
+
+        grads: dict[str, np.ndarray] = {}
+        dx_shards = []
+        dembed_head_total = 0
+        for dembed_head, dx, g_norm in cluster.rank_map(head_bwd_rank):
+            dembed_head_total = dembed_head_total + dembed_head
+            accumulate_grads(grads, g_norm)
             dx_shards.append(dx)
 
         for block, ctx in zip(reversed(model.blocks), reversed(block_ctxs)):
@@ -144,14 +156,18 @@ class ContiguousShardRunner:
                 grads, {f"{block.name}.{k}": v for k, v in block_grads.items()}
             )
 
+        def embed_bwd_rank(r):
+            dpos_r = None if cfg.uses_rope else dx_shards[r].sum(axis=0)
+            return dpos_r, embedding_backward(dx_shards[r], embed_caches[r])
+
         dtable = dembed_head_total
         dpos = None
-        for r in range(world):
-            if not cfg.uses_rope:
+        for r, (dpos_r, dtable_r) in enumerate(cluster.rank_map(embed_bwd_rank)):
+            if dpos_r is not None:
                 if dpos is None:
                     dpos = np.zeros_like(model.params["embed.positions"])
-                np.add.at(dpos, positions[r], dx_shards[r].sum(axis=0))
-            dtable = dtable + embedding_backward(dx_shards[r], embed_caches[r])
+                np.add.at(dpos, positions[r], dpos_r)
+            dtable = dtable + dtable_r
         grads["embed.table"] = dtable
         if dpos is not None:
             grads["embed.positions"] = dpos

@@ -73,13 +73,15 @@ def ring_block_forward(
     s_local = x_shards[0].shape[1]
     scale = 1.0 / np.sqrt(cfg.head_dim)
 
-    pre_caches, qs, ks, vs = [], [], [], []
-    for rank, x in enumerate(x_shards):
-        qh, kh, vh, cache = attn_pre_forward(params, cfg, x, _positions(rank, s_local))
-        pre_caches.append(cache)
-        qs.append(qh)
-        ks.append(kh)
-        vs.append(vh)
+    pre = cluster.rank_map(
+        lambda rank: attn_pre_forward(
+            params, cfg, x_shards[rank], _positions(rank, s_local)
+        )
+    )
+    qs = [p[0] for p in pre]
+    ks = [p[1] for p in pre]
+    vs = [p[2] for p in pre]
+    pre_caches = [p[3] for p in pre]
 
     b, _, h, d = qs[0].shape
     states = [OnlineSoftmaxState.zeros(b, s_local, h, d) for _ in range(world)]
@@ -89,38 +91,40 @@ def ring_block_forward(
     v_travel = as_device_tensors(cluster, [v.copy() for v in vs], ACT_DTYPE, "ring.v")
     window = cfg.attention_window
     for step in range(world):
-        for rank in range(world):
+        def fold_rank(rank, step=step):
             src = (rank - step) % world
             if src > rank:
-                continue  # causal: future blocks contribute nothing
+                return  # causal: future blocks contribute nothing
             if not block_is_visible(
                 s_local, s_local, rank * s_local, src * s_local, window
             ):
-                continue  # entirely behind the sliding window
+                return  # entirely behind the sliding window
             online_block_update(
                 states[rank], qs[rank], k_travel[rank].data, v_travel[rank].data,
                 scale=scale, q_offset=rank * s_local, k_offset=src * s_local,
                 window=window,
             )
+
+        cluster.rank_map(fold_rank)
         if step < world - 1:
             k_travel = ring_shift(cluster, k_travel, shift=1, tag="ring.k")
             v_travel = ring_shift(cluster, v_travel, shift=1, tag="ring.v")
     free_all(k_travel)
     free_all(v_travel)
 
-    o_list, lse_list = [], []
-    for state in states:
-        o, lse = finalize_online(state)
-        o_list.append(o)
-        lse_list.append(lse)
+    finals = cluster.rank_map(lambda rank: finalize_online(states[rank]))
+    o_list = [o for o, _ in finals]
+    lse_list = [lse for _, lse in finals]
 
-    post_caches, ffn_caches, y_shards = [], [], []
-    for x, o in zip(x_shards, o_list):
-        mid, post_cache = attn_post_forward(params, x, o)
+    def post_rank(rank):
+        mid, post_cache = attn_post_forward(params, x_shards[rank], o_list[rank])
         y, ffn_cache = ffn_forward(params, cfg, mid)
-        post_caches.append(post_cache)
-        ffn_caches.append(ffn_cache)
-        y_shards.append(y)
+        return post_cache, ffn_cache, y
+
+    post = cluster.rank_map(post_rank)
+    post_caches = [p[0] for p in post]
+    ffn_caches = [p[1] for p in post]
+    y_shards = [p[2] for p in post]
 
     ctx = RingBlockContext(
         pre_caches=pre_caches, post_caches=post_caches, ffn_caches=ffn_caches,
@@ -145,16 +149,21 @@ def ring_block_backward(
     scale = 1.0 / np.sqrt(cfg.head_dim)
     grads: Grads = {}
 
-    do_list, dres_list = [], []
-    for rank, dy in enumerate(dy_shards):
-        dmid, g_ffn = ffn_backward(dy, ctx.ffn_caches[rank])
-        accumulate_grads(grads, g_ffn)
+    def post_bwd_rank(rank):
+        dmid, g_ffn = ffn_backward(dy_shards[rank], ctx.ffn_caches[rank])
         do, dres, g_post = attn_post_backward(dmid, ctx.post_caches[rank])
+        return do, dres, g_ffn, g_post
+
+    do_list, dres_list = [], []
+    for do, dres, g_ffn, g_post in cluster.rank_map(post_bwd_rank):
+        accumulate_grads(grads, g_ffn)
         accumulate_grads(grads, g_post)
         do_list.append(do)
         dres_list.append(dres)
 
-    deltas = [compute_delta(o, do) for o, do in zip(ctx.o_heads, do_list)]
+    deltas = cluster.rank_map(
+        lambda rank: compute_delta(ctx.o_heads[rank], do_list[rank])
+    )
     dq_local = [np.zeros_like(q) for q in ctx.q_heads]
 
     k_travel = as_device_tensors(cluster, [k.copy() for k in ctx.k_heads], ACT_DTYPE, "ring.k")
@@ -167,14 +176,14 @@ def ring_block_backward(
     )
     window = cfg.attention_window
     for step in range(world):
-        for rank in range(world):
+        def bwd_rank(rank, step=step):
             src = (rank - step) % world
             if src > rank:
-                continue
+                return
             if not block_is_visible(
                 s_local, s_local, rank * s_local, src * s_local, window
             ):
-                continue
+                return
             dq_p, dk_p, dv_p = attention_block_backward(
                 ctx.q_heads[rank], k_travel[rank].data, v_travel[rank].data,
                 do_list[rank], ctx.lse[rank], deltas[rank],
@@ -184,6 +193,8 @@ def ring_block_backward(
             dq_local[rank] += dq_p
             dk_travel[rank].data += dk_p
             dv_travel[rank].data += dv_p
+
+        cluster.rank_map(bwd_rank)
         k_travel = ring_shift(cluster, k_travel, shift=1, tag="ring.k")
         v_travel = ring_shift(cluster, v_travel, shift=1, tag="ring.v")
         dk_travel = ring_shift(cluster, dk_travel, shift=1, tag="ring.dk")
@@ -194,11 +205,14 @@ def ring_block_backward(
     free_all(k_travel)
     free_all(v_travel)
 
-    dx_shards = []
-    for rank in range(world):
+    def pre_bwd_rank(rank):
         dx_pre, g_pre = attn_pre_backward(
             cfg, dq_local[rank], dk_home[rank], dv_home[rank], ctx.pre_caches[rank]
         )
+        return dres_list[rank] + dx_pre, g_pre
+
+    dx_shards = []
+    for dx, g_pre in cluster.rank_map(pre_bwd_rank):
         accumulate_grads(grads, g_pre)
-        dx_shards.append(dres_list[rank] + dx_pre)
+        dx_shards.append(dx)
     return dx_shards, grads

@@ -85,15 +85,15 @@ def ulysses_block_forward(
     s_local = x_shards[0].shape[1]
 
     # Phase 1 (token-local): norm + QKV projection (+RoPE, +GQA expand).
-    pre_caches, qs, ks, vs = [], [], [], []
-    for rank, x in enumerate(x_shards):
-        qh, kh, vh, cache = attn_pre_forward(
-            params, cfg, x, _positions(world, rank, s_local)
+    pre = cluster.rank_map(
+        lambda rank: attn_pre_forward(
+            params, cfg, x_shards[rank], _positions(world, rank, s_local)
         )
-        pre_caches.append(cache)
-        qs.append(qh)
-        ks.append(kh)
-        vs.append(vh)
+    )
+    qs = [p[0] for p in pre]
+    ks = [p[1] for p in pre]
+    vs = [p[2] for p in pre]
+    pre_caches = [p[3] for p in pre]
 
     # All-to-all: scatter heads, gather sequence (send + recv buffers live).
     q_dev = as_device_tensors(cluster, qs, ACT_DTYPE, "ulysses.q")
@@ -104,16 +104,17 @@ def ulysses_block_forward(
     v_hat = all_to_all(cluster, v_dev, split_axis=2, concat_axis=1, tag="ulysses.v")
 
     # Phase 2: attention on the full sequence with local heads.
-    o_list, lse_list = [], []
-    o_dev = []
-    for rank in range(world):
+    def attn_rank(rank):
         o, lse = online_attention_forward(
             q_hat[rank].data, k_hat[rank].data, v_hat[rank].data,
             block_k=block_k, window=cfg.attention_window,
         )
-        o_list.append(o)
-        lse_list.append(lse)
-        o_dev.append(cluster.devices[rank].from_numpy(o, ACT_DTYPE, "ulysses.o"))
+        return o, lse, cluster.devices[rank].from_numpy(o, ACT_DTYPE, "ulysses.o")
+
+    attn = cluster.rank_map(attn_rank)
+    o_list = [a[0] for a in attn]
+    lse_list = [a[1] for a in attn]
+    o_dev = [a[2] for a in attn]
     q_saved = free_all(q_hat)  # checkpointed to host for backward
     k_saved = free_all(k_hat)
     v_saved = free_all(v_hat)
@@ -123,13 +124,15 @@ def ulysses_block_forward(
     o_shards = free_all(o_local)
 
     # Phase 3 + 4 (token-local): output projection, residual, FFN.
-    post_caches, ffn_caches, y_shards = [], [], []
-    for x, o in zip(x_shards, o_shards):
-        y_mid, post_cache = attn_post_forward(params, x, o)
+    def post_rank(rank):
+        y_mid, post_cache = attn_post_forward(params, x_shards[rank], o_shards[rank])
         y, ffn_cache = ffn_forward(params, cfg, y_mid)
-        post_caches.append(post_cache)
-        ffn_caches.append(ffn_cache)
-        y_shards.append(y)
+        return post_cache, ffn_cache, y
+
+    post = cluster.rank_map(post_rank)
+    post_caches = [p[0] for p in post]
+    ffn_caches = [p[1] for p in post]
+    y_shards = [p[2] for p in post]
 
     ctx = UlyssesBlockContext(
         pre_caches=pre_caches, post_caches=post_caches, ffn_caches=ffn_caches,
@@ -153,15 +156,19 @@ def ulysses_block_backward(
     **summed over ranks** (the all-reduce a real run issues, since every
     rank computes partial weight gradients from its token shard).
     """
-    world = cluster.world_size
     grads: Grads = {}
 
-    # Phase 4 + 3 backward (token-local).
-    do_shards, dres_shards = [], []
-    for rank, dy in enumerate(dy_shards):
-        dmid, g_ffn = ffn_backward(dy, ctx.ffn_caches[rank])
-        accumulate_grads(grads, g_ffn)
+    # Phase 4 + 3 backward (token-local).  Weight-gradient contributions
+    # come back from the closures and fold at the join in rank order —
+    # the serial loop's exact float accumulation order.
+    def post_bwd_rank(rank):
+        dmid, g_ffn = ffn_backward(dy_shards[rank], ctx.ffn_caches[rank])
         do, dres, g_post = attn_post_backward(dmid, ctx.post_caches[rank])
+        return do, dres, g_ffn, g_post
+
+    do_shards, dres_shards = [], []
+    for do, dres, g_ffn, g_post in cluster.rank_map(post_bwd_rank):
+        accumulate_grads(grads, g_ffn)
         accumulate_grads(grads, g_post)
         do_shards.append(do)
         dres_shards.append(dres)
@@ -172,8 +179,7 @@ def ulysses_block_backward(
 
     # Attention backward per rank: fetch saved q/k/v (host -> device),
     # FlashAttention-style recomputation from (o, lse).
-    dq_dev, dk_dev, dv_dev = [], [], []
-    for rank in range(world):
+    def attn_bwd_rank(rank):
         dev = cluster.devices[rank]
         q_t = dev.from_numpy(ctx.q_heads[rank], ACT_DTYPE, "ulysses.q.fetch")
         k_t = dev.from_numpy(ctx.k_heads[rank], ACT_DTYPE, "ulysses.k.fetch")
@@ -184,9 +190,16 @@ def ulysses_block_backward(
             block_k=block_k, window=cfg.attention_window,
         )
         free_all([q_t, k_t, v_t])
-        dq_dev.append(dev.from_numpy(dq, ACT_DTYPE, "ulysses.dq"))
-        dk_dev.append(dev.from_numpy(dk, ACT_DTYPE, "ulysses.dk"))
-        dv_dev.append(dev.from_numpy(dv, ACT_DTYPE, "ulysses.dv"))
+        return (
+            dev.from_numpy(dq, ACT_DTYPE, "ulysses.dq"),
+            dev.from_numpy(dk, ACT_DTYPE, "ulysses.dk"),
+            dev.from_numpy(dv, ACT_DTYPE, "ulysses.dv"),
+        )
+
+    attn_bwd = cluster.rank_map(attn_bwd_rank)
+    dq_dev = [a[0] for a in attn_bwd]
+    dk_dev = [a[1] for a in attn_bwd]
+    dv_dev = [a[2] for a in attn_bwd]
     free_all(do_hat)
 
     # All-to-all gradients back to the sequence-sharded layout.
@@ -195,11 +208,14 @@ def ulysses_block_backward(
     dv_loc = free_all(all_to_all(cluster, dv_dev, split_axis=1, concat_axis=2, tag="ulysses.dv"))
 
     # Phase 1 backward (token-local).
-    dx_shards = []
-    for rank in range(world):
+    def pre_bwd_rank(rank):
         dx_pre, g_pre = attn_pre_backward(
             cfg, dq_loc[rank], dk_loc[rank], dv_loc[rank], ctx.pre_caches[rank]
         )
+        return dres_shards[rank] + dx_pre, g_pre
+
+    dx_shards = []
+    for dx, g_pre in cluster.rank_map(pre_bwd_rank):
         accumulate_grads(grads, g_pre)
-        dx_shards.append(dres_shards[rank] + dx_pre)
+        dx_shards.append(dx)
     return dx_shards, grads

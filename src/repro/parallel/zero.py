@@ -140,7 +140,7 @@ class ZeroAdam:
         if len(grads_per_rank) != world:
             raise ValueError(f"expected {world} gradient dicts")
         self.t += 1
-        flat_grads = [self.space.flatten(g) for g in grads_per_rank]
+        flat_grads = cluster.rank_map(lambda r: self.space.flatten(grads_per_rank[r]))
         scale = 1.0 / world if self.grad_reduce == "mean" else 1.0
 
         grad_dev = as_device_tensors(cluster, flat_grads, DType.FP32, "zero.grads")
@@ -155,15 +155,14 @@ class ZeroAdam:
             grad_shards = [t.data * scale for t in shards]
             free_all(shards)
 
-        new_shards = []
-        for rank in range(world):
-            new = adam_step(
+        new_shards = cluster.rank_map(
+            lambda rank: adam_step(
                 self.master_shards[rank], grad_shards[rank], self.opt_state[rank],
                 lr=self.lr, beta1=self.beta1, beta2=self.beta2,
                 eps=self.eps, weight_decay=self.weight_decay, t=self.t,
             )
-            self.master_shards[rank] = new
-            new_shards.append(new)
+        )
+        self.master_shards = list(new_shards)
 
         shard_dev = as_device_tensors(cluster, new_shards, DType.BF16, "zero.params")
         gathered = all_gather(cluster, shard_dev, axis=0, tag="zero.params")

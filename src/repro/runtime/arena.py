@@ -118,6 +118,11 @@ class BufferArena:
         self.name = name
         self.max_per_key = max_per_key
         self._free: dict[tuple, list[np.ndarray]] = {}
+        # Rank-executor threads rent/giveback concurrently (the shared
+        # attention workspace arena especially); the pop/push +
+        # counter updates must be atomic or two threads can rent the
+        # same buffer.
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.returns = 0
@@ -131,13 +136,14 @@ class BufferArena:
     def rent(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         """An *uninitialized* C-contiguous buffer of ``shape``/``dtype``:
         a warm one from the free list when available, else fresh."""
-        bucket = self._free.get(self._key(shape, dtype))
-        if bucket:
-            self.hits += 1
-            buf = bucket.pop()
-            self.reused_bytes += buf.nbytes
-            return buf
-        self.misses += 1
+        with self._lock:
+            bucket = self._free.get(self._key(shape, dtype))
+            if bucket:
+                self.hits += 1
+                buf = bucket.pop()
+                self.reused_bytes += buf.nbytes
+                return buf
+            self.misses += 1
         return np.empty(shape, np.dtype(dtype))
 
     def giveback(self, array: np.ndarray) -> bool:
@@ -152,13 +158,14 @@ class BufferArena:
         if array.base is not None or not array.flags.c_contiguous:
             return False
         key = self._key(array.shape, array.dtype)
-        bucket = self._free.setdefault(key, [])
-        if len(bucket) >= self.max_per_key:
-            self.discards += 1
-            return False
-        bucket.append(array)
-        self.returns += 1
-        return True
+        with self._lock:
+            bucket = self._free.setdefault(key, [])
+            if len(bucket) >= self.max_per_key:
+                self.discards += 1
+                return False
+            bucket.append(array)
+            self.returns += 1
+            return True
 
     # ------------------------------------------------------------------
 
@@ -192,9 +199,10 @@ class BufferArena:
 
     def clear(self) -> int:
         """Drop every retained buffer; returns how many were freed."""
-        n = self.free_buffers
-        self._free.clear()
-        return n
+        with self._lock:
+            n = sum(len(b) for b in self._free.values())
+            self._free.clear()
+            return n
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -139,6 +139,7 @@ class VirtualCluster:
             )
         self.world_size = world_size
         self.spec = spec
+        self.record_timeline = record_timeline
         self.trace = Trace()
         #: Optional :class:`repro.faults.FaultInjector`; collectives and
         #: the chunk cache consult it before moving data.  Plain attr —
@@ -167,6 +168,23 @@ class VirtualCluster:
                 step_clock=step_clock, event_clock=event_clock,
             ),
             self.trace,
+        )
+
+    def rank_map(self, fn) -> list:
+        """Run ``fn(r)`` for every rank through the process-wide
+        :mod:`repro.runtime.executor` — the fork-join primitive the
+        strategies use between collectives.
+
+        Two execution modes pin the serial path regardless of the
+        executor: timeline recording (memory samples stamp the *live*
+        trace position, which per-rank buffering would defer) and fault
+        injection (per-op fault draws consume an ordered sequence).
+        """
+        from repro.runtime.executor import rank_map
+
+        force_serial = self.record_timeline or self.fault_injector is not None
+        return rank_map(
+            fn, self.world_size, trace=self.trace, force_serial=force_serial
         )
 
     def scatter(self, array: np.ndarray, axis: int, dtype: DType, tag: str) -> list[DeviceTensor]:

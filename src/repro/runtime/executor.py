@@ -1,0 +1,403 @@
+"""Fork-join rank executor: run per-rank closures on real threads.
+
+Every strategy in :mod:`repro.parallel` and :mod:`repro.core` is SPMD
+by loop — a ``for r in range(world)`` between collectives.  On a
+multi-core host that serializes work the simulated devices would run
+concurrently, so a world-8 step costs ~8x what the hardware allows.
+:func:`rank_map` is the fork-join primitive that fixes it: dispatch one
+closure per rank onto a persistent thread pool (NumPy/BLAS releases the
+GIL, so the ranks genuinely overlap), join in rank order.
+
+Determinism contract (what makes executor-on bitwise identical to
+executor-off):
+
+* closures only touch **rank-local** state plus the thread-safe runtime
+  (pools and arenas lock their counters; see
+  :mod:`repro.runtime.memory` / :mod:`repro.runtime.arena`);
+* any **cross-rank accumulation** happens at the join, in rank order,
+  on the values the closures return — never inside the closures — so
+  float reduction order matches the serial loop exactly;
+* trace events recorded inside a closure go to a per-rank buffer and
+  are merged in (rank, sequence) order at the join
+  (:meth:`repro.runtime.trace.Trace.buffered`), so the merged log is
+  byte-identical to the serial loop's.
+
+Executions that need a *global* interleaving order stay serial: memory
+timelines (``record_timeline=True`` stamps samples with the live trace
+position) and fault injection (per-op fault draws are an ordered
+sequence).  ``VirtualCluster.rank_map`` applies both guards.
+
+Selection: ``executor(workers=N)`` context manager, the
+``REPRO_EXECUTOR`` env var (``serial`` | ``threads`` | ``threads:N``),
+or the ``--workers`` CLI flag.  The threads backend is the default;
+``workers`` defaults to the CPU count, so a single-core host degrades
+to the serial path automatically.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Sequence
+
+__all__ = [
+    "RankExecutor",
+    "executor",
+    "executor_stats",
+    "get_executor",
+    "rank_map",
+    "reset_executor",
+    "set_executor",
+    "clamp_blas_threads",
+]
+
+
+# --------------------------------------------------------------------------
+# BLAS oversubscription guard
+# --------------------------------------------------------------------------
+
+#: Env vars that mean the user already pinned BLAS threading; the guard
+#: never overrides an explicit choice.
+_BLAS_ENV_VARS = ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS")
+
+#: Set-num-threads entry points across OpenBLAS builds (the scipy
+#: wheels prefix and suffix the symbol).
+_BLAS_SYMBOLS = (
+    "openblas_set_num_threads",
+    "openblas_set_num_threads64_",
+    "scipy_openblas_set_num_threads64_",
+    "scipy_openblas_set_num_threads_64_",
+)
+
+_blas_lock = threading.Lock()
+_blas_setters: list | None = None  # resolved once, None = not yet probed
+
+
+def _find_blas_setters() -> list:
+    """Locate ``*_set_num_threads`` in the BLAS shared objects NumPy
+    ships with.  Best effort: no threadpoolctl dependency, and a build
+    we can't introspect just means the guard is a no-op."""
+    import ctypes
+    import glob
+
+    import numpy
+
+    setters = []
+    root = os.path.dirname(os.path.dirname(numpy.__file__))
+    patterns = (
+        os.path.join(root, "numpy.libs", "*openblas*"),
+        os.path.join(root, "numpy", ".dylibs", "*openblas*"),
+        os.path.join(root, "scipy_openblas64", "lib", "*.so*"),
+        os.path.join(root, "scipy_openblas32", "lib", "*.so*"),
+    )
+    for pattern in patterns:
+        for path in glob.glob(pattern):
+            try:
+                lib = ctypes.CDLL(path)
+            except OSError:  # pragma: no cover - unloadable stray file
+                continue
+            for symbol in _BLAS_SYMBOLS:
+                fn = getattr(lib, symbol, None)
+                if fn is not None:
+                    fn.argtypes = [ctypes.c_int]
+                    fn.restype = None
+                    setters.append(fn)
+                    break
+    return setters
+
+
+def clamp_blas_threads(n: int) -> bool:
+    """Pin the BLAS pool to ``n`` threads per call site.
+
+    Called by the executor before going parallel so ``workers`` rank
+    threads times ``cores`` BLAS threads doesn't oversubscribe the
+    machine (on small shapes that is a slowdown, not a speedup).
+    Returns ``True`` when a BLAS library accepted the setting; ``False``
+    when the user pinned threading via env (respected as-is) or no
+    known entry point exists.
+    """
+    if any(os.environ.get(var) for var in _BLAS_ENV_VARS):
+        return False
+    global _blas_setters
+    with _blas_lock:
+        if _blas_setters is None:
+            _blas_setters = _find_blas_setters()
+        for setter in _blas_setters:
+            setter(int(max(1, n)))
+    return bool(_blas_setters)
+
+
+# --------------------------------------------------------------------------
+# The executor
+# --------------------------------------------------------------------------
+
+_TLS = threading.local()  # .active is True inside a rank closure
+
+
+def _in_rank_closure() -> bool:
+    return getattr(_TLS, "active", False)
+
+
+class RankExecutor:
+    """Process-wide fork-join dispatcher for per-rank closures.
+
+    Parameters
+    ----------
+    backend:
+        ``"threads"`` (default) or ``"serial"``.  Serial preserves
+        today's exact control flow — ``rank_map`` is then a plain
+        ``for r in range(world)`` loop.
+    workers:
+        Thread-pool size for the threads backend; defaults to the CPU
+        count.  ``workers <= 1`` is equivalent to serial.
+
+    Utilization counters (cumulative, read via :meth:`stats`):
+    ``fork_joins`` parallel fork-join sections executed, ``tasks`` rank
+    closures dispatched to the pool, ``busy_seconds`` summed in-closure
+    time, ``wall_seconds`` summed fork-join wall time.  The busy
+    fraction ``busy / (wall * workers)`` is the utilization telemetry
+    surfaces per step.
+    """
+
+    def __init__(self, backend: str = "threads", workers: int | None = None):
+        if backend not in ("threads", "serial"):
+            raise ValueError(f"unknown executor backend {backend!r}")
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.backend = backend
+        self.workers = workers
+        self.fork_joins = 0
+        self.tasks = 0
+        self.busy_seconds = 0.0
+        self.wall_seconds = 0.0
+        self._pool: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+
+    @property
+    def parallel(self) -> bool:
+        """Whether this executor dispatches to threads at all."""
+        return self.backend == "threads" and self.workers > 1
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                # One BLAS thread per rank thread: the executor owns the
+                # core-level parallelism while a fork-join is running.
+                clamp_blas_threads(max(1, (os.cpu_count() or 1) // self.workers))
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="rank"
+                )
+            return self._pool
+
+    def rank_map(
+        self,
+        fn: Callable[[int], Any],
+        world: int,
+        *,
+        trace=None,
+        force_serial: bool = False,
+    ) -> list:
+        """Run ``fn(r)`` for every rank; return results in rank order.
+
+        ``trace`` is the cluster trace to buffer per rank and merge at
+        the join.  ``force_serial`` pins this call to the serial path
+        (timeline recording, fault injection).  Nested calls — a rank
+        closure invoking ``rank_map`` — run inline serially, so events
+        stay on the outer rank's buffer in their serial order.
+
+        Exceptions: every rank runs to completion (or failure); the
+        lowest-rank exception is re-raised after the trace buffers of
+        all ranks are merged, mirroring where a serial loop leaves the
+        shared state for that rank.
+        """
+        if (
+            world <= 1
+            or force_serial
+            or not self.parallel
+            or _in_rank_closure()
+        ):
+            return [fn(r) for r in range(world)]
+
+        pool = self._ensure_pool()
+        buffers: list[list | None] = [None] * world
+        durations = [0.0] * world
+
+        def task(r: int):
+            _TLS.active = True
+            try:
+                start = time.perf_counter()
+                if trace is not None:
+                    with trace.buffered() as buffer:
+                        buffers[r] = buffer
+                        out = fn(r)
+                else:
+                    out = fn(r)
+                durations[r] = time.perf_counter() - start
+                return out
+            finally:
+                _TLS.active = False
+
+        wall_start = time.perf_counter()
+        futures = [pool.submit(task, r) for r in range(world)]
+        results: list = []
+        errors: list[tuple[int, BaseException]] = []
+        for r, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append((r, exc))
+                results.append(None)
+        if trace is not None:
+            trace.merge(b for b in buffers if b is not None)
+        wall = time.perf_counter() - wall_start
+        with self._lock:
+            self.fork_joins += 1
+            self.tasks += world
+            self.busy_seconds += sum(durations)
+            self.wall_seconds += wall
+        if errors:
+            raise errors[0][1]
+        return results
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Snapshot of the utilization counters (telemetry reads this)."""
+        with self._lock:
+            denom = self.wall_seconds * self.workers
+            return {
+                "backend": self.backend,
+                "workers": self.workers,
+                "parallel": self.parallel,
+                "fork_joins": self.fork_joins,
+                "tasks": self.tasks,
+                "busy_seconds": self.busy_seconds,
+                "wall_seconds": self.wall_seconds,
+                "busy_fraction": self.busy_seconds / denom if denom > 0 else 0.0,
+            }
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RankExecutor({self.backend}, workers={self.workers})"
+
+
+# --------------------------------------------------------------------------
+# Process-wide selection
+# --------------------------------------------------------------------------
+
+_global_lock = threading.Lock()
+_global_executor: RankExecutor | None = None
+
+
+def _from_env() -> RankExecutor:
+    """Build the default executor from ``REPRO_EXECUTOR``.
+
+    Accepted values: ``serial``, ``threads``, ``threads:N``, or a bare
+    integer ``N`` (shorthand for ``threads:N``).  Unset or empty means
+    threads at CPU count — on by default.
+    """
+    value = os.environ.get("REPRO_EXECUTOR", "").strip().lower()
+    if not value or value == "threads":
+        return RankExecutor("threads")
+    if value == "serial":
+        return RankExecutor("serial", workers=1)
+    spec = value[len("threads:"):] if value.startswith("threads:") else value
+    try:
+        workers = int(spec)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_EXECUTOR={value!r}: expected 'serial', 'threads' or 'threads:N'"
+        ) from None
+    return RankExecutor("threads", workers=workers)
+
+
+def get_executor() -> RankExecutor:
+    """The process-wide executor, created from the env on first use."""
+    global _global_executor
+    with _global_lock:
+        if _global_executor is None:
+            _global_executor = _from_env()
+        return _global_executor
+
+
+def set_executor(ex: RankExecutor | None) -> RankExecutor | None:
+    """Install ``ex`` as the process-wide executor; returns the previous
+    one, or ``None`` if none had been created yet (the previous executor
+    keeps its thread pool — callers that own it shut it down)."""
+    global _global_executor
+    with _global_lock:
+        previous = _global_executor
+        _global_executor = ex
+    return previous
+
+
+def reset_executor() -> None:
+    """Drop the process-wide executor so the next :func:`get_executor`
+    re-reads ``REPRO_EXECUTOR`` (tests that mutate the env use this)."""
+    global _global_executor
+    with _global_lock:
+        if _global_executor is not None:
+            _global_executor.shutdown()
+        _global_executor = None
+
+
+@contextmanager
+def executor(workers: int | None = None, backend: str | None = None):
+    """Scoped executor override.
+
+    ``executor(workers=4)`` runs the body with a 4-thread fork-join
+    pool; ``executor(backend="serial")`` (or ``workers=1``) pins the
+    serial path.  The previous executor is restored on exit.
+    """
+    if backend is None:
+        backend = "serial" if workers is not None and workers <= 1 else "threads"
+    scoped = RankExecutor(backend, workers=workers)
+    previous = set_executor(scoped)
+    try:
+        yield scoped
+    finally:
+        set_executor(previous)
+        scoped.shutdown()
+
+
+def rank_map(
+    fn: Callable[[int], Any],
+    world: int,
+    *,
+    trace=None,
+    force_serial: bool = False,
+) -> list:
+    """Module-level convenience over :func:`get_executor`."""
+    return get_executor().rank_map(fn, world, trace=trace, force_serial=force_serial)
+
+
+def executor_stats() -> dict:
+    """Utilization snapshot of the process-wide executor."""
+    return get_executor().stats()
+
+
+def fold(
+    into: dict,
+    contributions: Sequence[dict | None],
+    accumulate: Callable[[dict, dict], None],
+) -> dict:
+    """Join-phase gradient fold: apply ``accumulate(into, contrib)`` in
+    rank order.  Exists to keep call sites honest about the determinism
+    rule — accumulation happens here, after the join, never inside rank
+    closures."""
+    for contrib in contributions:
+        if contrib:
+            accumulate(into, contrib)
+    return into

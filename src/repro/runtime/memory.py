@@ -16,6 +16,7 @@ instead; it is orders of magnitude smaller than the tensors tracked here.
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 from typing import Callable, Iterator
 
@@ -99,6 +100,10 @@ class MemoryPool:
         self._step = step_clock if step_clock is not None else itertools.count()
         self._event_clock = event_clock
         self._usage_by_tag: dict[str, int] = {}
+        # The host pool (and, defensively, every pool) is shared across
+        # the rank executor's threads: in_use/peak/tag bookkeeping is a
+        # multi-field update that must be atomic to stay exact.
+        self._lock = threading.RLock()
         # Storage recycler for the zero-copy fast path.  Renting from it
         # never touches the byte counters above: arena reuse changes
         # where NumPy storage comes from, not what the pool charges.
@@ -109,42 +114,44 @@ class MemoryPool:
         pool cannot fit it — the event the paper's OOM markers denote."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        if self.capacity is not None and self.in_use + nbytes > self.capacity:
-            raise OutOfMemoryError(self.name, nbytes, self.capacity, self.in_use)
-        alloc = Allocation(next(self._ids), nbytes, tag)
-        self._live[alloc.alloc_id] = alloc
-        self.in_use += nbytes
-        self.peak = max(self.peak, self.in_use)
-        self.total_allocated += nbytes
-        self.n_allocs += 1
-        self._usage_by_tag[tag] = self._usage_by_tag.get(tag, 0) + nbytes
-        if self.record_timeline:
-            self.timeline.append(
-                MemorySample(
-                    next(self._step), self.in_use, f"alloc:{tag}", tag, self._event_index()
+        with self._lock:
+            if self.capacity is not None and self.in_use + nbytes > self.capacity:
+                raise OutOfMemoryError(self.name, nbytes, self.capacity, self.in_use)
+            alloc = Allocation(next(self._ids), nbytes, tag)
+            self._live[alloc.alloc_id] = alloc
+            self.in_use += nbytes
+            self.peak = max(self.peak, self.in_use)
+            self.total_allocated += nbytes
+            self.n_allocs += 1
+            self._usage_by_tag[tag] = self._usage_by_tag.get(tag, 0) + nbytes
+            if self.record_timeline:
+                self.timeline.append(
+                    MemorySample(
+                        next(self._step), self.in_use, f"alloc:{tag}", tag, self._event_index()
+                    )
                 )
-            )
-        return alloc
+            return alloc
 
     def free(self, alloc: Allocation) -> None:
         """Release a live allocation.  Double frees raise ``KeyError``."""
-        stored = self._live.pop(alloc.alloc_id)
-        self.in_use -= stored.nbytes
-        remaining = self._usage_by_tag[stored.tag] - stored.nbytes
-        if remaining:
-            self._usage_by_tag[stored.tag] = remaining
-        else:
-            # Drop zeroed tags: long runs cycle through unbounded unique
-            # tags (per-chunk cache keys), and keeping dead entries grows
-            # the dict without bound.
-            del self._usage_by_tag[stored.tag]
-        if self.record_timeline:
-            self.timeline.append(
-                MemorySample(
-                    next(self._step), self.in_use, f"free:{stored.tag}", stored.tag,
-                    self._event_index(),
+        with self._lock:
+            stored = self._live.pop(alloc.alloc_id)
+            self.in_use -= stored.nbytes
+            remaining = self._usage_by_tag[stored.tag] - stored.nbytes
+            if remaining:
+                self._usage_by_tag[stored.tag] = remaining
+            else:
+                # Drop zeroed tags: long runs cycle through unbounded unique
+                # tags (per-chunk cache keys), and keeping dead entries grows
+                # the dict without bound.
+                del self._usage_by_tag[stored.tag]
+            if self.record_timeline:
+                self.timeline.append(
+                    MemorySample(
+                        next(self._step), self.in_use, f"free:{stored.tag}", stored.tag,
+                        self._event_index(),
+                    )
                 )
-            )
 
     def _event_index(self) -> int:
         return self._event_clock() if self._event_clock is not None else -1

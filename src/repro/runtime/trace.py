@@ -30,7 +30,9 @@ Two further kinds carry the fault-injection model (:mod:`repro.faults`):
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
 from typing import Iterable
 
 
@@ -64,6 +66,35 @@ class Trace:
     def __init__(self) -> None:
         self.events: list[TraceEvent] = []
         self._ids = itertools.count()
+        # Per-thread redirection target for the rank executor: while a
+        # rank closure runs, its events land on a thread-local buffer
+        # (placeholder ids) and are merged in rank order at the join.
+        self._tls = threading.local()
+
+    @contextmanager
+    def buffered(self):
+        """Redirect this thread's :meth:`record` calls to a fresh buffer.
+
+        Used by :class:`repro.runtime.executor.RankExecutor` worker
+        threads: each rank closure records into its own buffer, and the
+        fork-join merges the buffers in rank order, so the final event
+        log (ids included) is byte-identical to the serial loop's.
+        Yields the buffer; the caller passes it to :meth:`merge`.
+        """
+        buffer: list[TraceEvent] = []
+        previous = getattr(self._tls, "buffer", None)
+        self._tls.buffer = buffer
+        try:
+            yield buffer
+        finally:
+            self._tls.buffer = previous
+
+    def merge(self, buffers: Iterable[list[TraceEvent]]) -> None:
+        """Append buffered events in the given (rank) order, assigning
+        the definitive event ids.  Serial-section call only."""
+        for buffer in buffers:
+            for event in buffer:
+                self.events.append(replace(event, event_id=next(self._ids)))
 
     def record(
         self,
@@ -78,6 +109,13 @@ class Trace:
     ) -> TraceEvent:
         if kind not in self.KINDS:
             raise ValueError(f"unknown event kind {kind!r}")
+        buffer = getattr(self._tls, "buffer", None)
+        if buffer is not None:
+            # Inside a rank closure: park the event with a placeholder
+            # id; merge() assigns the real one in rank order.
+            event = TraceEvent(-1, kind, label, rank, stream, nbytes, flops, seconds)
+            buffer.append(event)
+            return event
         event = TraceEvent(
             next(self._ids), kind, label, rank, stream, nbytes, flops, seconds
         )

@@ -66,6 +66,12 @@ class StepRecord:
     workspace_hits: int = 0
     workspace_misses: int = 0
     einsum_paths_cached: int = 0
+    # Rank-executor utilization (process-wide, cumulative snapshots like
+    # the arena counters): pool size, fork-join sections run, and the
+    # busy fraction busy/(wall*workers) of parallel sections so far.
+    executor_workers: int = 0
+    executor_fork_joins: int = 0
+    executor_busy_fraction: float = 0.0
     # Fault-injection deltas for this step (``fault``/``retry`` events
     # on the step's trace slice); stay zero on clean runs.
     fault_count: int = 0
@@ -193,6 +199,13 @@ class RunLogger:
             .set(rec.arena_misses)
         reg.gauge("arena_reused_bytes",
                   "bytes served from recycled arena buffers").set(rec.arena_reused_bytes)
+        reg.gauge("executor_workers", "rank-executor thread-pool size") \
+            .set(rec.executor_workers)
+        reg.gauge("executor_fork_joins",
+                  "parallel fork-join sections run (cumulative)") \
+            .set(rec.executor_fork_joins)
+        reg.gauge("executor_busy_fraction",
+                  "rank-executor busy/(wall*workers)").set(rec.executor_busy_fraction)
         if rec.fault_count:
             reg.counter("faults_injected_total",
                         "injected faults survived").inc(rec.fault_count)
@@ -242,6 +255,9 @@ class RunLogger:
             summary["arena_reused_bytes"] = last.arena_reused_bytes
             summary["workspace_hits"] = last.workspace_hits
             summary["einsum_paths_cached"] = last.einsum_paths_cached
+            summary["executor_workers"] = last.executor_workers
+            summary["executor_fork_joins"] = last.executor_fork_joins
+            summary["executor_busy_fraction"] = last.executor_busy_fraction
         if profile is not None:
             summary["sim_makespan_s"] = profile.makespan
             summary["sim_mfu"] = profile.rollup().mfu

@@ -20,6 +20,7 @@ from repro.common.einsum_cache import path_cache_stats
 from repro.core.fpdt_model import FPDTModelRunner
 from repro.models.attention import workspace_stats
 from repro.models.transformer import GPTModel
+from repro.runtime.executor import executor_stats
 from repro.runtime.trace_analysis import summarize
 from repro.telemetry.monitors import checksum_params
 from repro.telemetry.runlog import RunLogger, StepRecord
@@ -199,6 +200,10 @@ class Trainer:
         record.workspace_hits = ws["hits"]
         record.workspace_misses = ws["misses"]
         record.einsum_paths_cached = path_cache_stats()["entries"]
+        ex = executor_stats()
+        record.executor_workers = ex["workers"] if ex["parallel"] else 1
+        record.executor_fork_joins = ex["fork_joins"]
+        record.executor_busy_fraction = ex["busy_fraction"]
         # Post-step parameters are replicated across ranks by
         # construction here; a real deployment feeds per-rank values.
         checksum = checksum_params(self.model.all_params())

@@ -1,0 +1,375 @@
+"""Rank-executor unit tests: dispatch semantics, selection, thread safety.
+
+The bitwise on/off equivalence of whole training strategies lives in
+``test_executor_equivalence.py``; this file covers the executor itself —
+rank ordering, the exception policy, nested calls, env/context
+selection, trace buffering — plus the runtime pieces the executor's
+threads share: :class:`MemoryPool` and :class:`BufferArena` under
+concurrent load, and the BLAS oversubscription guard.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.executor import (
+    RankExecutor,
+    clamp_blas_threads,
+    executor,
+    executor_stats,
+    fold,
+    get_executor,
+    rank_map,
+    reset_executor,
+    set_executor,
+)
+from repro.runtime.memory import MemoryPool
+from repro.runtime.trace import Trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_executor():
+    """Each test starts and ends without a process-wide executor."""
+    reset_executor()
+    yield
+    reset_executor()
+
+
+# ---------------------------------------------------------------------------
+# rank_map semantics
+# ---------------------------------------------------------------------------
+
+
+def test_results_in_rank_order_even_when_ranks_finish_out_of_order():
+    ex = RankExecutor("threads", workers=4)
+    try:
+
+        def slow_low_ranks(r: int) -> int:
+            time.sleep(0.02 * (4 - r))  # rank 3 finishes first
+            return r * 10
+
+        assert ex.rank_map(slow_low_ranks, 4) == [0, 10, 20, 30]
+    finally:
+        ex.shutdown()
+
+
+def test_serial_backend_matches_threads_results():
+    serial = RankExecutor("serial", workers=1)
+    threads = RankExecutor("threads", workers=4)
+    try:
+        fn = lambda r: (r, r**2)  # noqa: E731
+        assert serial.rank_map(fn, 6) == threads.rank_map(fn, 6)
+    finally:
+        threads.shutdown()
+
+
+def test_world_one_and_force_serial_run_inline():
+    ex = RankExecutor("threads", workers=4)
+    try:
+        main_thread = threading.get_ident()
+        seen: list[int] = []
+
+        def record_thread(r: int) -> None:
+            seen.append(threading.get_ident())
+
+        ex.rank_map(record_thread, 1)
+        ex.rank_map(record_thread, 3, force_serial=True)
+        assert seen == [main_thread] * 4
+        assert ex.stats()["fork_joins"] == 0  # no parallel section ran
+    finally:
+        ex.shutdown()
+
+
+def test_nested_rank_map_runs_inline_on_the_worker_thread():
+    ex = RankExecutor("threads", workers=4)
+    try:
+
+        def outer(r: int):
+            worker = threading.get_ident()
+            inner_threads: list[int] = []
+
+            def inner(s: int) -> int:
+                inner_threads.append(threading.get_ident())
+                return r * 10 + s
+
+            inner_results = ex.rank_map(inner, 2)
+            assert inner_threads == [worker, worker]
+            return inner_results
+
+        assert ex.rank_map(outer, 3) == [[0, 1], [10, 11], [20, 21]]
+        assert ex.stats()["fork_joins"] == 1  # only the outer section
+    finally:
+        ex.shutdown()
+
+
+def test_lowest_rank_exception_wins_and_all_ranks_complete():
+    ex = RankExecutor("threads", workers=4)
+    try:
+        completed: list[int] = []
+
+        def flaky(r: int) -> int:
+            if r in (1, 3):
+                raise ValueError(f"rank {r} failed")
+            completed.append(r)
+            return r
+
+        with pytest.raises(ValueError, match="rank 1 failed"):
+            ex.rank_map(flaky, 4)
+        assert sorted(completed) == [0, 2]  # healthy ranks ran to the end
+    finally:
+        ex.shutdown()
+
+
+def test_trace_events_merge_in_rank_order_with_sequential_ids():
+    ex = RankExecutor("threads", workers=4)
+    trace = Trace()
+    trace.record("phase", "before")  # id 0, outside any fork-join
+    try:
+
+        def emit(r: int) -> None:
+            time.sleep(0.01 * (3 - r))  # scramble completion order
+            trace.record("compute", f"work[{r}].a", rank=r)
+            trace.record("compute", f"work[{r}].b", rank=r)
+
+        ex.rank_map(emit, 3, trace=trace)
+    finally:
+        ex.shutdown()
+    labels = [e.label for e in trace.events]
+    assert labels == [
+        "before",
+        "work[0].a", "work[0].b",
+        "work[1].a", "work[1].b",
+        "work[2].a", "work[2].b",
+    ]
+    assert [e.event_id for e in trace.events] == list(range(7))
+    # The log keeps extending with correct ids after the merge.
+    after = trace.record("phase", "after")
+    assert after.event_id == 7
+
+
+def test_trace_buffers_survive_a_failing_rank():
+    ex = RankExecutor("threads", workers=2)
+    trace = Trace()
+    try:
+
+        def emit_then_fail(r: int) -> None:
+            trace.record("compute", f"r{r}", rank=r)
+            if r == 1:
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            ex.rank_map(emit_then_fail, 2, trace=trace)
+    finally:
+        ex.shutdown()
+    assert [e.label for e in trace.events] == ["r0", "r1"]
+
+
+def test_stats_counters_accumulate():
+    ex = RankExecutor("threads", workers=2)
+    try:
+        ex.rank_map(lambda r: np.ones(4).sum(), 4)
+        ex.rank_map(lambda r: None, 2)
+        stats = ex.stats()
+    finally:
+        ex.shutdown()
+    assert stats["fork_joins"] == 2
+    assert stats["tasks"] == 6
+    assert stats["wall_seconds"] > 0
+    assert 0.0 <= stats["busy_fraction"] <= 1.0
+
+
+def test_fold_accumulates_in_rank_order_and_skips_empty():
+    order: list[str] = []
+
+    def acc(into: dict, contrib: dict) -> None:
+        for key, val in contrib.items():
+            order.append(key)
+            into[key] = into.get(key, 0) + val
+
+    out = fold({}, [{"a": 1}, None, {"a": 2, "b": 3}, {}], acc)
+    assert out == {"a": 3, "b": 3}
+    assert order == ["a", "a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# Selection: env var, context manager, constructor validation
+# ---------------------------------------------------------------------------
+
+
+def test_env_selects_serial(monkeypatch):
+    monkeypatch.setenv("REPRO_EXECUTOR", "serial")
+    reset_executor()
+    ex = get_executor()
+    assert ex.backend == "serial" and not ex.parallel
+
+
+@pytest.mark.parametrize("value,workers", [("threads:3", 3), ("2", 2)])
+def test_env_selects_thread_count(monkeypatch, value, workers):
+    monkeypatch.setenv("REPRO_EXECUTOR", value)
+    reset_executor()
+    ex = get_executor()
+    assert ex.backend == "threads" and ex.workers == workers
+
+
+def test_env_default_is_threads_at_cpu_count(monkeypatch):
+    monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+    reset_executor()
+    ex = get_executor()
+    assert ex.backend == "threads" and ex.workers >= 1
+
+
+def test_env_rejects_garbage(monkeypatch):
+    monkeypatch.setenv("REPRO_EXECUTOR", "fibers:9")
+    reset_executor()
+    with pytest.raises(ValueError, match="REPRO_EXECUTOR"):
+        get_executor()
+
+
+def test_invalid_constructor_args_raise():
+    with pytest.raises(ValueError):
+        RankExecutor("processes")
+    with pytest.raises(ValueError):
+        RankExecutor("threads", workers=0)
+
+
+def test_executor_context_overrides_and_restores():
+    outer = RankExecutor("serial", workers=1)
+    set_executor(outer)
+    with executor(workers=4) as scoped:
+        assert get_executor() is scoped
+        assert scoped.parallel and scoped.workers == 4
+    assert get_executor() is outer
+    # workers=1 pins the serial path.
+    with executor(workers=1) as scoped:
+        assert scoped.backend == "serial"
+
+
+def test_executor_context_with_no_prior_executor_reverts_to_env(monkeypatch):
+    monkeypatch.setenv("REPRO_EXECUTOR", "serial")
+    with executor(workers=4):
+        assert get_executor().parallel
+    # No stale scoped executor left behind: env is re-read.
+    assert get_executor().backend == "serial"
+
+
+def test_module_level_rank_map_and_stats(monkeypatch):
+    monkeypatch.setenv("REPRO_EXECUTOR", "threads:2")
+    reset_executor()
+    assert rank_map(lambda r: r + 1, 3) == [1, 2, 3]
+    stats = executor_stats()
+    assert stats["workers"] == 2 and stats["fork_joins"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Satellite: thread safety of the shared runtime pieces
+# ---------------------------------------------------------------------------
+
+
+def _hammer(n_threads: int, body) -> None:
+    """Run ``body(thread_index)`` on ``n_threads`` threads, started
+    together, re-raising the first exception."""
+    barrier = threading.Barrier(n_threads)
+    errors: list[BaseException] = []
+
+    def runner(i: int) -> None:
+        barrier.wait()
+        try:
+            body(i)
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=runner, args=(i,)) for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+def test_memory_pool_concurrent_alloc_free_is_exact():
+    pool = MemoryPool("stress")
+    per_thread, rounds = 1024, 200
+
+    def body(i: int) -> None:
+        for _ in range(rounds):
+            a = pool.alloc(per_thread, tag=f"t{i}")
+            b = pool.alloc(per_thread, tag=f"t{i}")
+            pool.free(a)
+            pool.free(b)
+
+    _hammer(8, body)
+    assert pool.in_use == 0
+    assert pool.n_allocs == 8 * rounds * 2
+    assert pool.total_allocated == 8 * rounds * 2 * per_thread
+    assert pool.usage_by_tag() == {}
+    pool.check_empty()
+
+
+def test_arena_concurrent_rent_giveback_stays_consistent():
+    pool = MemoryPool("stress")
+    arena = pool.arena
+
+    def body(i: int) -> None:
+        shape = (64, (i % 4) + 1)
+        for _ in range(200):
+            buf = arena.rent(shape, np.float64)
+            assert buf.shape == shape
+            buf.fill(i)  # touch the memory
+            arena.giveback(buf)
+
+    _hammer(8, body)
+    stats = arena.stats()
+    assert stats["hits"] + stats["misses"] == 8 * 200
+    # Every buffer was given back, none lost mid-flight.
+    assert arena.free_buffers <= 8 * 200
+    assert arena.free_buffers >= 1
+
+
+def test_pool_arena_mix_under_rank_map():
+    """The realistic pattern: rank closures alloc/free on a shared pool
+    and rent/giveback arena storage concurrently."""
+    pool = MemoryPool("host")
+    ex = RankExecutor("threads", workers=4)
+    try:
+
+        def body(r: int) -> int:
+            total = 0
+            for _ in range(100):
+                alloc = pool.alloc(512, tag=f"rank{r}")
+                buf = pool.arena.rent((32,), np.float64)
+                total += buf.size
+                pool.arena.giveback(buf)
+                pool.free(alloc)
+            return total
+
+        results = ex.rank_map(body, 4)
+    finally:
+        ex.shutdown()
+    assert results == [3200] * 4
+    assert pool.in_use == 0
+    pool.check_empty()
+
+
+# ---------------------------------------------------------------------------
+# Satellite: BLAS oversubscription guard
+# ---------------------------------------------------------------------------
+
+
+def test_blas_clamp_respects_user_pinning(monkeypatch):
+    monkeypatch.setenv("OMP_NUM_THREADS", "7")
+    assert clamp_blas_threads(1) is False
+
+
+def test_blas_clamp_is_safe_without_env(monkeypatch):
+    for var in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS", "MKL_NUM_THREADS"):
+        monkeypatch.delenv(var, raising=False)
+    # Build-dependent whether a setter exists; must not crash either way,
+    # and BLAS results must stay correct afterwards.
+    clamp_blas_threads(1)
+    a = np.arange(12.0).reshape(3, 4)
+    assert np.allclose(a @ a.T, a @ a.T)

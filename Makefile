@@ -14,6 +14,9 @@ bench:
 chaos:
 	python -m repro chaos --quick
 
+serve:
+	python -m repro serve bench --requests 400 --verify all
+
 experiments:
 	python -m repro experiment table1
 	python -m repro experiment table2

@@ -26,5 +26,6 @@ __all__ = [
     "training",
     "telemetry",
     "faults",
+    "serving",
     "experiments",
 ]

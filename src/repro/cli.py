@@ -11,6 +11,7 @@
     python -m repro metrics summary results/runlog.jsonl
     python -m repro metrics diff results/golden_runlog.jsonl results/runlog.jsonl
     python -m repro chaos --quick
+    python -m repro serve bench --requests 10000
 
 ``plan`` is the Table-1 question (max context per strategy), ``tune``
 the §5.3 question (which chunk size), ``experiment`` regenerates any
@@ -21,7 +22,10 @@ and ``metrics`` renders/diffs run logs — ``diff`` exits non-zero when
 a gated metric drifts beyond tolerance, which is the CI regression
 gate.  ``chaos`` trains through injected faults and a mid-run crash,
 resumes from the checkpoint, and exits non-zero unless the recovered
-loss curve is bitwise identical to a clean run.
+loss curve is bitwise identical to a clean run.  ``serve bench``
+replays a synthetic heavy-traffic request mix through the
+continuous-batching serving engine and exits non-zero when any request
+is dropped or any served output diverges from single-request decoding.
 """
 
 from __future__ import annotations
@@ -315,6 +319,88 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.faults import FaultPlan
+    from repro.models.config import tiny_gpt, tiny_llama
+    from repro.models.transformer import GPTModel
+    from repro.serving import (
+        EngineConfig, LoadGenConfig, SchedulerConfig, run_load,
+        synthesize_requests,
+    )
+
+    if args.verify in ("all", "none"):
+        verify: int | str = args.verify
+    else:
+        try:
+            verify = int(args.verify)
+        except ValueError:
+            print(f"serve: --verify must be all, none, or an int, "
+                  f"got {args.verify!r}", file=sys.stderr)
+            return 2
+        if verify < 0:
+            print("serve: --verify must be >= 0", file=sys.stderr)
+            return 2
+
+    window = parse_tokens(args.window) if args.window else None
+    if args.arch == "gpt":
+        cfg = tiny_gpt(hidden_size=32, num_layers=2, num_heads=2)
+    else:
+        cfg = tiny_llama(hidden_size=32, num_layers=2, num_heads=2,
+                         num_kv_heads=1)
+    if window is not None:
+        cfg = cfg.scaled(attention_window=window)
+    model = GPTModel(cfg, seed=args.seed)
+
+    load_cfg = LoadGenConfig(
+        num_requests=args.requests,
+        seed=args.seed,
+        tenants=args.tenants,
+        arrival_rate=args.arrival_rate,
+        max_prompt=args.max_prompt,
+        max_new_tokens=args.max_new_tokens,
+        temperature=args.temperature,
+    )
+    budget = cfg.max_position_embeddings if cfg.arch == "gpt" else None
+    requests = synthesize_requests(
+        load_cfg, cfg.vocab_size, position_budget=budget
+    )
+    plan = None
+    if args.chaos:
+        plan = FaultPlan(seed=args.seed, offload_rate=args.offload_rate)
+    chaos = " under chaos" if plan is not None else ""
+    print(f"replaying {args.requests} requests through the serving "
+          f"engine ({cfg.name}{chaos}):")
+    start = time.perf_counter()
+    report = run_load(
+        model, requests,
+        engine_config=EngineConfig(prefill_chunk=args.prefill_chunk),
+        scheduler_config=SchedulerConfig(
+            max_live=args.max_live,
+            tenant_quota=args.tenant_quota,
+            max_queue=args.max_queue,
+            prefill_chunks_per_tick=args.prefill_chunks,
+        ),
+        fault_plan=plan,
+        verify=verify,
+    )
+    elapsed = time.perf_counter() - start
+    print(report.render())
+    print(f"wall time       {elapsed:.1f} s "
+          f"({report.ticks / max(elapsed, 1e-9):,.0f} ticks/s)")
+    if report.dropped:
+        print(f"serve: {report.dropped} request(s) dropped", file=sys.stderr)
+        return 1
+    if report.mismatched:
+        print(f"serve: {report.mismatched} request(s) diverged from "
+              f"single-request decode", file=sys.stderr)
+        return 1
+    print(f"serve: {report.completed} completed, {report.verified} verified "
+          f"bitwise against generate()")
+    return 0
+
+
 def cmd_metrics_summary(args: argparse.Namespace) -> int:
     from repro.telemetry import read_run_log
 
@@ -479,6 +565,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workers_arg(p_prof)
     p_prof.set_defaults(fn=cmd_profile)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-context serving engine: continuous-batching replay "
+             "of a synthetic request mix",
+    )
+    serve_sub = p_serve.add_subparsers(dest="serve_command", required=True)
+    p_sbench = serve_sub.add_parser(
+        "bench",
+        help="replay a seeded heavy-traffic mix; exit 1 on any dropped "
+             "request or any output diverging from single-request decode",
+    )
+    p_sbench.add_argument("--requests", type=int, default=10_000,
+                          help="synthetic requests to replay")
+    p_sbench.add_argument("--seed", type=int, default=0,
+                          help="seeds the model, mix, and sampling")
+    p_sbench.add_argument("--arch", default="gpt", choices=["gpt", "llama"],
+                          help="tiny model architecture to serve")
+    p_sbench.add_argument("--window", default=None,
+                          help="sliding-window attention span (tokens)")
+    p_sbench.add_argument("--prefill-chunk", type=int, default=32,
+                          help="prompt tokens encoded per prefill step")
+    p_sbench.add_argument("--prefill-chunks", type=int, default=8,
+                          help="prefill chunk budget per scheduler tick")
+    p_sbench.add_argument("--max-live", type=int, default=16,
+                          help="concurrently admitted requests")
+    p_sbench.add_argument("--tenants", type=int, default=4)
+    p_sbench.add_argument("--tenant-quota", type=int, default=None,
+                          help="live-request cap per tenant")
+    p_sbench.add_argument("--max-queue", type=int, default=None,
+                          help="queue cap; beyond it admission control "
+                               "rejects (default unbounded)")
+    p_sbench.add_argument("--arrival-rate", type=float, default=4.0,
+                          help="mean arrivals per tick")
+    p_sbench.add_argument("--max-prompt", type=int, default=192,
+                          help="prompt-length clip of the lognormal tail")
+    p_sbench.add_argument("--max-new-tokens", type=int, default=24,
+                          help="decode-budget clip")
+    p_sbench.add_argument("--temperature", type=float, default=0.0,
+                          help="sampling temperature (0 = greedy)")
+    p_sbench.add_argument("--chaos", action="store_true",
+                          help="inject transient KV-transfer faults")
+    p_sbench.add_argument("--offload-rate", type=float, default=0.02,
+                          help="per-attempt flaky-transfer rate with --chaos")
+    p_sbench.add_argument("--verify", default="all", metavar="all|none|N",
+                          help="completed requests to re-decode "
+                               "single-request and compare bitwise")
+    _add_workers_arg(p_sbench)
+    p_sbench.set_defaults(fn=cmd_serve)
 
     p_chaos = sub.add_parser(
         "chaos",

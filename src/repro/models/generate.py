@@ -7,6 +7,16 @@ new token runs O(1) projections plus attention against the cache.
 Greedy and temperature sampling are supported; equivalence with
 full-recompute decoding is tested, which also re-validates the attention
 kernels from the inference side.
+
+:func:`forward_cached` is the single-step primitive the serving engine
+(:mod:`repro.serving`) builds on: it accepts any number of *new* tokens,
+so a long prompt can be encoded chunk by chunk under a fixed activation
+budget (chunked prefill) and decode steps pass one token at a time.
+
+With sliding-window attention (``cfg.attention_window``) the cache
+evicts entries that fall behind the window: the mask already zeroes
+their contribution, so eviction is bitwise-invisible to the logits while
+decode memory drops from O(total length) to O(window).
 """
 
 from __future__ import annotations
@@ -20,33 +30,115 @@ from repro.models.transformer import GPTModel
 
 
 class KVCache:
-    """Per-layer key/value tensors, grown as decoding proceeds."""
+    """Per-layer key/value tensors, grown as decoding proceeds.
 
-    def __init__(self, num_layers: int):
+    With ``window`` set (sliding-window attention), entries whose
+    absolute position can no longer be seen by any present or future
+    query are evicted on append, bounding the cached length at
+    ``window - 1`` plus the append size.  ``seq_len`` keeps counting
+    *absolute* positions (tokens ever appended); ``cached_len`` is what
+    is actually retained.
+    """
+
+    def __init__(self, num_layers: int, *, window: int | None = None):
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 or None")
+        self.num_layers = num_layers
+        self.window = window
         self.keys: list[np.ndarray | None] = [None] * num_layers
         self.values: list[np.ndarray | None] = [None] * num_layers
+        # Absolute position of the first *retained* entry / one past the
+        # last appended entry, per layer.
+        self._offsets = [0] * num_layers
+        self._totals = [0] * num_layers
+
+    @classmethod
+    def restore(
+        cls,
+        keys: list[np.ndarray],
+        values: list[np.ndarray],
+        *,
+        offset: int,
+        total: int,
+        window: int | None = None,
+    ) -> "KVCache":
+        """Rebuild a cache from externally-held per-layer arrays (the
+        serving KV store round-trips caches through host memory)."""
+        cache = cls(len(keys), window=window)
+        cache.keys = list(keys)
+        cache.values = list(values)
+        cache._offsets = [offset] * len(keys)
+        cache._totals = [total] * len(keys)
+        return cache
 
     def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Extend layer ``layer``'s cache; returns the full (k, v)."""
+        """Extend layer ``layer``'s cache; returns the full (k, v).
+
+        With a window, entries at absolute positions ``<= start - window``
+        (where ``start`` is the first new position of this append) are
+        dropped first: the earliest query of this step sees keys in
+        ``(start - window, start]`` and later queries only move right, so
+        the dropped entries are fully masked everywhere — which is why
+        eviction leaves the logits bitwise unchanged.
+        """
+        start = self._totals[layer]
+        if self.window is not None:
+            drop = (start - self.window + 1) - self._offsets[layer]
+            if drop > 0 and self.keys[layer] is not None:
+                self.keys[layer] = self.keys[layer][:, drop:]
+                self.values[layer] = self.values[layer][:, drop:]
+                self._offsets[layer] += drop
         if self.keys[layer] is None:
             self.keys[layer] = k
             self.values[layer] = v
         else:
             self.keys[layer] = np.concatenate([self.keys[layer], k], axis=1)
             self.values[layer] = np.concatenate([self.values[layer], v], axis=1)
+        self._totals[layer] = start + k.shape[1]
         return self.keys[layer], self.values[layer]
+
+    def layer_offset(self, layer: int) -> int:
+        """Absolute position of layer ``layer``'s first retained entry."""
+        return self._offsets[layer]
+
+    @property
+    def offset(self) -> int:
+        """Absolute position of the first retained entry (uniform across
+        layers between forwards)."""
+        return self._offsets[0]
 
     @property
     def seq_len(self) -> int:
+        """Total positions appended so far (absolute length, independent
+        of window eviction)."""
+        return self._totals[0]
+
+    @property
+    def cached_len(self) -> int:
+        """Entries actually retained (== ``seq_len`` without a window)."""
         return 0 if self.keys[0] is None else self.keys[0].shape[1]
 
+    @property
+    def nbytes(self) -> int:
+        """NumPy bytes of the retained keys and values across layers."""
+        return sum(
+            t.nbytes
+            for pair in zip(self.keys, self.values)
+            for t in pair
+            if t is not None
+        )
 
-def _forward_cached(
+
+def forward_cached(
     model: GPTModel, tokens: np.ndarray, cache: KVCache
 ) -> np.ndarray:
     """Run ``tokens`` (the new positions only) through the model against
     the cache; returns next-token logits for the final position."""
     cfg = model.config
+    if tokens.ndim != 2:
+        raise ShapeError(f"cached forward tokens must be [b, s], got {tokens.shape}")
+    if tokens.shape[1] == 0:
+        raise ShapeError("cached forward requires at least one new token")
     start = cache.seq_len
     positions = np.arange(start, start + tokens.shape[1])
     x = model.params["embed.table"][tokens]
@@ -58,8 +150,11 @@ def _forward_cached(
         qh, kh, vh, _ = attn_pre_forward(block.params, cfg, x, positions)
         k_full, v_full = cache.append(layer, kh, vh)
         # New queries attend to everything cached; the causal offset is
-        # the cache length before this call.
-        o = _prefix_causal_attention(qh, k_full, v_full, start, cfg)
+        # the cache length before this call, and the key offset is the
+        # absolute position of the first retained (unevicted) entry.
+        o = _prefix_causal_attention(
+            qh, k_full, v_full, start, cfg, k_offset=cache.layer_offset(layer)
+        )
         mid, _ = attn_post_forward(block.params, x, o)
         x, _ = ffn_forward(block.params, cfg, mid)
     if cfg.arch == "gpt":
@@ -71,7 +166,11 @@ def _forward_cached(
     return normed[:, -1] @ model.params["embed.table"].T
 
 
-def _prefix_causal_attention(qh, k_full, v_full, q_offset, cfg):
+# Backward-compatible alias (pre-serving name).
+_forward_cached = forward_cached
+
+
+def _prefix_causal_attention(qh, k_full, v_full, q_offset, cfg, *, k_offset=0):
     """Attention of new queries (at absolute offset ``q_offset``) over
     the full cached prefix, with the correct causal mask and window."""
     from repro.models.attention import (
@@ -80,15 +179,39 @@ def _prefix_causal_attention(qh, k_full, v_full, q_offset, cfg):
         online_block_update,
     )
 
+    if cfg.attention_window is not None:
+        # Slice to the union of the queries' visible ranges before any
+        # arithmetic.  Fully-masked keys contribute exactly zero either
+        # way, but a different key-array length changes the GEMM
+        # reduction order (ULP-level drift) — slicing here makes cache
+        # eviction bitwise-invisible by construction, not just in exact
+        # arithmetic.
+        lo = (q_offset - cfg.attention_window + 1) - k_offset
+        if lo > 0:
+            k_full = k_full[:, lo:]
+            v_full = v_full[:, lo:]
+            k_offset += lo
     b, sq, h, d = qh.shape
     state = OnlineSoftmaxState.zeros(b, sq, h, d)
     online_block_update(
         state, qh, k_full, v_full,
-        scale=1.0 / np.sqrt(d), q_offset=q_offset, k_offset=0,
+        scale=1.0 / np.sqrt(d), q_offset=q_offset, k_offset=k_offset,
         window=cfg.attention_window,
     )
     o, _ = finalize_online(state)
     return o
+
+
+def sample_token(row: np.ndarray, temperature: float, rng: np.random.Generator) -> int:
+    """One token from a logit row: argmax at ``temperature == 0``, else a
+    softmax sample drawn from ``rng`` (shared by :func:`generate` and the
+    serving engine so both consume identical RNG streams)."""
+    if temperature == 0:
+        return int(np.argmax(row))
+    z = (row - row.max()) / temperature
+    p = np.exp(z)
+    p /= p.sum()
+    return int(rng.choice(len(p), p=p))
 
 
 def generate(
@@ -109,20 +232,20 @@ def generate(
     tokens = np.atleast_2d(np.asarray(prompt, dtype=np.int64))
     if tokens.shape[0] != 1:
         raise ShapeError("generation supports batch size 1")
+    if tokens.shape[1] == 0:
+        raise ShapeError("prompt must contain at least one token")
     rng = np.random.default_rng(seed)
-    cache = KVCache(len(model.blocks))
-    logits = _forward_cached(model, tokens, cache)
+    cache = KVCache(len(model.blocks), window=model.config.attention_window)
+    logits = forward_cached(model, tokens, cache)
     out = tokens
-    for _ in range(max_new_tokens):
-        row = logits[0]
-        if temperature == 0:
-            nxt = int(np.argmax(row))
-        else:
-            z = (row - row.max()) / temperature
-            p = np.exp(z)
-            p /= p.sum()
-            nxt = int(rng.choice(len(p), p=p))
-        new = np.array([[nxt]], dtype=np.int64)
-        out = np.concatenate([out, new], axis=1)
-        logits = _forward_cached(model, new, cache)
+    for step in range(max_new_tokens):
+        nxt = sample_token(logits[0], temperature, rng)
+        out = np.concatenate([out, np.array([[nxt]], dtype=np.int64)], axis=1)
+        # The final sampled token needs no forward: logits past the
+        # returned sequence would be discarded, and running it would
+        # also grow the cache one step beyond the output.
+        if step + 1 < max_new_tokens:
+            logits = forward_cached(
+                model, np.array([[nxt]], dtype=np.int64), cache
+            )
     return out[0]

@@ -1,0 +1,212 @@
+"""The serving engine: chunked prefill + incremental batched decode.
+
+Two step primitives, both built on :func:`repro.models.generate
+.forward_cached` so serving inherits the decode path's exactness
+guarantees:
+
+* :meth:`ServingEngine.prefill_step` encodes the *next chunk* of a
+  request's prompt against its KV cache.  A 512K-token prompt never
+  materializes full-sequence activations — each chunk's working set is
+  ``O(chunk)``, the sequence-chunked prefill that FPDT's forward is —
+  and the logits of non-final chunks are never computed into tokens.
+* :meth:`ServingEngine.decode_step` samples one token from the last
+  logits and (unless the budget is spent) runs the one-token forward
+  for the next step.  :meth:`ServingEngine.decode_batch` fans a batch
+  of independent decode steps onto the process-wide
+  :class:`~repro.runtime.executor.RankExecutor` — requests share no
+  state, so the fork-join is bitwise invisible, and fault injection
+  pins the serial path exactly like ``VirtualCluster.rank_map`` (the
+  injector's per-op draws are an ordered sequence).
+
+Between steps every request's KV lives host-side in the
+:class:`~repro.serving.kvstore.RequestKVStore` (set ``offload=False``
+to keep caches in plain arrays instead; numerics are identical, only
+the pools and PCIe traffic differ — the same contract the FPDT
+attention keeps).
+
+Greedy decode through the engine is **bitwise identical** to
+:func:`repro.models.generate.generate` per request, for any prefill
+chunking, with or without offload, and under injected transfer faults —
+the serve-smoke CI gate replays a request mix and asserts exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.dtypes import DType
+from repro.models.generate import KVCache, forward_cached, sample_token
+from repro.models.transformer import GPTModel
+from repro.runtime.device import VirtualCluster
+from repro.runtime.executor import rank_map
+from repro.serving.kvstore import RequestKVStore
+from repro.serving.request import Request, RequestState
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine knobs.
+
+    ``prefill_chunk`` is the prompt-encoding chunk size in tokens
+    (``None`` = whole prompt in one pass); ``offload`` moves KV caches
+    to host between steps; ``kv_dtype`` is the accounting dtype of
+    offloaded KV (bf16, like the paper's activations).
+    """
+
+    prefill_chunk: int | None = None
+    offload: bool = True
+    kv_dtype: DType = DType.BF16
+
+    def __post_init__(self) -> None:
+        if self.prefill_chunk is not None and self.prefill_chunk < 1:
+            raise ValueError("prefill_chunk must be >= 1 or None")
+
+
+@dataclass
+class DecodeState:
+    """Mutable runtime state of one admitted request."""
+
+    request: Request
+    state: RequestState
+    rng: np.random.Generator
+    prefill_pos: int = 0
+    logits: np.ndarray | None = None
+    new_tokens: list[int] = field(default_factory=list)
+    # KV cache held inline when the engine is not offloading.
+    kv: KVCache | None = None
+    admitted_tick: int | None = None
+    first_token_tick: int | None = None
+    done_tick: int | None = None
+
+    @property
+    def rid(self) -> str:
+        return self.request.rid
+
+    def output(self) -> np.ndarray:
+        """Prompt followed by the decoded continuation — the same layout
+        :func:`repro.models.generate.generate` returns."""
+        return np.concatenate(
+            [self.request.prompt, np.asarray(self.new_tokens, dtype=np.int64)]
+        )
+
+
+class ServingEngine:
+    """Prefill/decode executor over one model and one virtual cluster."""
+
+    def __init__(
+        self,
+        model: GPTModel,
+        *,
+        config: EngineConfig | None = None,
+        cluster: VirtualCluster | None = None,
+        registry=None,
+    ):
+        self.model = model
+        self.config = config or EngineConfig()
+        self.cluster = cluster or VirtualCluster(1)
+        self.store = RequestKVStore(
+            self.cluster, len(model.blocks), dtype=self.config.kv_dtype
+        )
+        self._prefill_tokens = None
+        self._decode_tokens = None
+        if registry is not None:
+            self._prefill_tokens = registry.counter(
+                "serving_prefill_tokens", "prompt tokens encoded"
+            )
+            self._decode_tokens = registry.counter(
+                "serving_decode_tokens", "tokens decoded"
+            )
+
+    # -- request lifecycle --------------------------------------------------
+
+    def start(self, request: Request) -> DecodeState:
+        """Admit ``request``: build its decode state (no compute yet)."""
+        return DecodeState(
+            request=request,
+            state=RequestState.PREFILL,
+            rng=np.random.default_rng(request.seed),
+        )
+
+    def prefill_step(self, state: DecodeState) -> bool:
+        """Encode the next prompt chunk; returns ``True`` when the whole
+        prompt is in the cache and the first-token logits are ready."""
+        if state.state is not RequestState.PREFILL:
+            raise RuntimeError(f"request {state.rid!r} is not in prefill")
+        prompt = state.request.prompt[None, :]
+        chunk = self.config.prefill_chunk or prompt.shape[1]
+        lo = state.prefill_pos
+        hi = min(lo + chunk, prompt.shape[1])
+        kv = self._checkout(state)
+        logits = forward_cached(self.model, prompt[:, lo:hi], kv)
+        self._checkin(state, kv)
+        state.prefill_pos = hi
+        if self._prefill_tokens is not None:
+            self._prefill_tokens.inc(hi - lo)
+        if hi == prompt.shape[1]:
+            state.logits = logits
+            state.state = RequestState.DECODE
+            return True
+        return False
+
+    def decode_step(self, state: DecodeState) -> int:
+        """Sample one token; run the next one-token forward unless the
+        decode budget is now spent.  Returns the sampled token."""
+        if state.state is not RequestState.DECODE:
+            raise RuntimeError(f"request {state.rid!r} is not decoding")
+        request = state.request
+        nxt = sample_token(state.logits[0], request.temperature, state.rng)
+        state.new_tokens.append(nxt)
+        if len(state.new_tokens) < request.max_new_tokens:
+            kv = self._checkout(state)
+            state.logits = forward_cached(
+                self.model, np.array([[nxt]], dtype=np.int64), kv
+            )
+            self._checkin(state, kv)
+        else:
+            # Mirror the fixed generate() loop: no forward after the
+            # final token, so the cache never grows past the output.
+            state.logits = None
+            state.state = RequestState.DONE
+        return nxt
+
+    def decode_batch(self, states: list[DecodeState]) -> list[int]:
+        """One decode token for every request in ``states`` — the
+        continuous-batching inner step.  Per-request forwards touch no
+        shared state, so they fan out on the rank executor; fault
+        injection forces the serial path (ordered per-op draws), the
+        same guard ``VirtualCluster.rank_map`` applies."""
+        if not states:
+            return []
+        tokens = rank_map(
+            lambda i: self.decode_step(states[i]),
+            len(states),
+            trace=self.cluster.trace,
+            force_serial=self.cluster.fault_injector is not None,
+        )
+        if self._decode_tokens is not None:
+            self._decode_tokens.inc(len(states))
+        return tokens
+
+    def finish(self, state: DecodeState) -> None:
+        """Release a completed (or cancelled) request's KV residency."""
+        if self.config.offload and state.rid in self.store:
+            self.store.evict(state.rid)
+        state.kv = None
+
+    # -- KV residency -------------------------------------------------------
+
+    def _checkout(self, state: DecodeState) -> KVCache:
+        window = self.model.config.attention_window
+        if not self.config.offload:
+            if state.kv is None:
+                state.kv = KVCache(len(self.model.blocks), window=window)
+            return state.kv
+        if state.rid in self.store:
+            return self.store.load(state.rid, window=window)
+        return KVCache(len(self.model.blocks), window=window)
+
+    def _checkin(self, state: DecodeState, kv: KVCache) -> None:
+        if self.config.offload:
+            self.store.save(state.rid, kv)

@@ -1,0 +1,107 @@
+"""Per-request KV residency: host offload between decode steps.
+
+Serving a long-context model means the KV caches, not the activations,
+dominate HBM — a single 512K-token request at bf16 dwarfs the model's
+working set.  The same machinery FPDT uses for training chunks applies
+directly: between engine steps every request's per-layer K/V lives in
+the :class:`~repro.core.offload.ChunkCache` (host memory), and a step
+*fetches* the one request it is about to advance, runs the token, and
+*offloads* the grown cache back.  At any moment HBM holds at most the
+in-flight requests' KV — the serving analogue of the paper's "1/u
+footprint" claim, and the reason the engine's device pool stays flat as
+the request population grows.
+
+Because every movement goes through the chunk cache, the PR-4 fault
+injector's ``before_transfer`` hook fires on serving traffic too: a
+flaky-PCIe chaos plan exercises the scheduler exactly like the trainer,
+and — since injected transients retry without perturbing payloads —
+served tokens stay bitwise identical under chaos.
+"""
+
+from __future__ import annotations
+
+from repro.common.dtypes import DType
+from repro.core.offload import ChunkCache
+from repro.models.generate import KVCache
+from repro.runtime.device import VirtualCluster
+
+
+class RequestKVStore:
+    """Host-offloaded KV caches keyed by request id.
+
+    Entries are ``(rid, layer, "k"|"v")`` in one :class:`ChunkCache`;
+    D2H/H2D traffic and host-pool bytes are accounted on the cluster
+    like any training offload.  ``load`` is fetch-and-evict: the engine
+    re-saves the grown cache after its step, so the host never holds two
+    generations of one request.
+    """
+
+    def __init__(
+        self,
+        cluster: VirtualCluster,
+        num_layers: int,
+        *,
+        dtype: DType = DType.BF16,
+    ):
+        self.cluster = cluster
+        self.device = cluster.devices[0]
+        self.cache = ChunkCache(cluster)
+        self.num_layers = num_layers
+        self.dtype = dtype
+        # rid -> (offset, total) of the stored KVCache (uniform across
+        # layers between forwards); window travels with the engine.
+        self._meta: dict[str, tuple[int, int]] = {}
+
+    def __contains__(self, rid: str) -> bool:
+        return rid in self._meta
+
+    def __len__(self) -> int:
+        return len(self._meta)
+
+    @property
+    def host_bytes(self) -> int:
+        """Accounted host bytes of every resident request."""
+        return self.cache.host_bytes
+
+    def save(self, rid: str, kv: KVCache) -> None:
+        """Offload ``rid``'s cache to host (one D2H per layer tensor)."""
+        if rid in self._meta:
+            raise KeyError(f"kv store already holds request {rid!r}")
+        for layer in range(self.num_layers):
+            for kind, arr in (("k", kv.keys[layer]), ("v", kv.values[layer])):
+                tensor = self.device.from_numpy(arr, self.dtype, f"kv:{rid}")
+                self.cache.store((rid, layer, kind), tensor, self.device)
+        self._meta[rid] = (kv.offset, kv.seq_len)
+
+    def load(self, rid: str, *, window: int | None = None) -> KVCache:
+        """Fetch ``rid``'s cache back to the device (one H2D per layer
+        tensor) and drop the host copies; returns the rebuilt
+        :class:`KVCache` ready for :func:`~repro.models.generate
+        .forward_cached`."""
+        try:
+            offset, total = self._meta.pop(rid)
+        except KeyError:
+            raise KeyError(f"kv store has no request {rid!r}") from None
+        keys, values = [], []
+        for layer in range(self.num_layers):
+            for kind, into in (("k", keys), ("v", values)):
+                tensor = self.cache.fetch((rid, layer, kind), self.device)
+                into.append(tensor.free())
+                self.cache.discard((rid, layer, kind))
+        return KVCache.restore(
+            keys, values, offset=offset, total=total, window=window
+        )
+
+    def evict(self, rid: str) -> None:
+        """Drop a finished request's host copies without fetching."""
+        try:
+            del self._meta[rid]
+        except KeyError:
+            raise KeyError(f"kv store has no request {rid!r}") from None
+        for layer in range(self.num_layers):
+            self.cache.discard((rid, layer, "k"))
+            self.cache.discard((rid, layer, "v"))
+
+    def clear(self) -> None:
+        for rid in list(self._meta):
+            self.evict(rid)

@@ -1,0 +1,84 @@
+"""Request model of the serving engine.
+
+A :class:`Request` is the immutable description a client submits: a
+prompt, a decode budget, and scheduling metadata (tenant, priority,
+arrival time in scheduler ticks).  The mutable per-request runtime state
+lives in :class:`repro.serving.engine.DecodeState`; the lifecycle is the
+:class:`RequestState` machine the scheduler drives::
+
+    QUEUED --admit--> PREFILL --prompt encoded--> DECODE --budget--> DONE
+       \\--admission control (queue cap)--> REJECTED
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ShapeError
+
+
+class RequestState(enum.Enum):
+    """Lifecycle states of a serving request."""
+
+    QUEUED = "queued"
+    PREFILL = "prefill"
+    DECODE = "decode"
+    DONE = "done"
+    REJECTED = "rejected"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request.
+
+    Parameters
+    ----------
+    rid:
+        Unique request id (any string; the load generator uses
+        ``req-000042``-style ids).
+    prompt:
+        1-D int token array; must be non-empty.
+    max_new_tokens:
+        Decode budget (>= 1).
+    tenant:
+        Owner used for per-tenant concurrency quotas.
+    priority:
+        Larger = more urgent; the scheduler ages queued priorities so
+        low-priority requests cannot starve.
+    arrival_tick:
+        Scheduler tick at which the request becomes visible (the load
+        generator's simulated arrival process).
+    temperature / seed:
+        Sampling controls, with :func:`repro.models.generate.generate`
+        semantics — ``temperature=0`` is greedy, and equal seeds consume
+        identical RNG streams, which is what makes serving outputs
+        bitwise-comparable to single-request decoding.
+    """
+
+    rid: str
+    prompt: np.ndarray
+    max_new_tokens: int
+    tenant: str = "default"
+    priority: int = 0
+    arrival_tick: int = 0
+    temperature: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        prompt = np.asarray(self.prompt, dtype=np.int64)
+        if prompt.ndim != 1:
+            raise ShapeError(f"request prompt must be 1-D, got {prompt.shape}")
+        if prompt.shape[0] == 0:
+            raise ShapeError("request prompt must contain at least one token")
+        object.__setattr__(self, "prompt", prompt)
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        if self.temperature < 0:
+            raise ValueError("temperature must be >= 0")
+
+    @property
+    def prompt_len(self) -> int:
+        return int(self.prompt.shape[0])

@@ -61,6 +61,22 @@ class TestChunkCache:
         with pytest.raises(KeyError, match="no entry"):
             cache.fetch("nope", dev)
 
+    def test_fetch_after_discard_raises(self):
+        """A discarded entry is gone for good: fetch and re-discard both
+        fail loudly instead of returning stale data."""
+        _, cache, dev = _setup()
+        t = dev.from_numpy(np.ones((2, 2), np.float32), DType.BF16, "kv")
+        cache.store("x", t, dev)
+        cache.discard("x")
+        with pytest.raises(KeyError, match="no entry"):
+            cache.fetch("x", dev)
+        with pytest.raises(KeyError, match="no entry"):
+            cache.discard("x")
+        # The key is reusable after a discard (new request generation).
+        t2 = dev.from_numpy(np.zeros((2, 2), np.float32), DType.BF16, "kv")
+        cache.store("x", t2, dev)
+        cache.fetch("x", dev).free()
+
     def test_discard_releases_host_bytes(self):
         cluster, cache, dev = _setup()
         t = dev.from_numpy(np.ones((2, 2), np.float32), DType.BF16, "kv")

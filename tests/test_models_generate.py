@@ -1,12 +1,14 @@
 """KV-cached generation: equivalence with full recompute, determinism,
-windowed decoding, and end-to-end quality after training."""
+windowed decoding (including cache eviction), and end-to-end quality
+after training."""
 
 import numpy as np
 import pytest
 
+import repro.models.generate as generate_mod
 from repro.common.errors import ShapeError
 from repro.models import GPTModel, tiny_gpt, tiny_llama
-from repro.models.generate import KVCache, generate
+from repro.models.generate import KVCache, forward_cached, generate
 from repro.training import SyntheticCorpus
 from repro.training.trainer import Trainer
 
@@ -120,3 +122,125 @@ class TestGenerationBehavior:
         k2, _ = cache.append(0, np.ones((1, 1, 2, 4)), np.ones((1, 1, 2, 4)))
         assert cache.seq_len == 4
         assert k2.shape == (1, 4, 2, 4)
+
+    def test_empty_prompt_raises_shape_error(self):
+        """An empty prompt is a documented ShapeError, not a bare NumPy
+        failure out of ``positions.max()``."""
+        cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1)
+        model = GPTModel(cfg, seed=0)
+        with pytest.raises(ShapeError, match="at least one token"):
+            generate(model, np.zeros(0, dtype=int), max_new_tokens=2)
+        with pytest.raises(ShapeError, match="at least one"):
+            forward_cached(
+                model, np.zeros((1, 0), dtype=int), KVCache(len(model.blocks))
+            )
+
+    def test_no_forward_after_final_token(self, monkeypatch):
+        """The final sampled token runs no extra forward: one prefill
+        call plus one call per non-final decode step."""
+        cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1, vocab_size=32)
+        model = GPTModel(cfg, seed=0)
+        calls = []
+        real = generate_mod.forward_cached
+        monkeypatch.setattr(
+            generate_mod, "forward_cached",
+            lambda m, t, c: calls.append(t.shape) or real(m, t, c),
+        )
+        for budget in (1, 4):
+            calls.clear()
+            generate(model, np.array([3, 1, 4]), max_new_tokens=budget)
+            assert len(calls) == 1 + (budget - 1)
+
+    def test_generate_cache_stops_at_output_length(self):
+        """The cache never grows past the returned sequence (the old
+        code ran one forward too many)."""
+        cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1,
+                       max_position_embeddings=8)
+        model = GPTModel(cfg, seed=0)
+        # 5 prompt + 3 new = 8 positions: exactly the table; the extra
+        # forward of the unfixed loop would need position 8 and raise.
+        out = generate(model, np.zeros(5, dtype=int), max_new_tokens=3)
+        assert out.shape == (8,)
+
+
+class TestWindowedKVCacheEviction:
+    """Sliding-window decode: the cache stays bounded and eviction is
+    bitwise-invisible to the logits."""
+
+    def _model(self, arch, window):
+        if arch == "gpt":
+            cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=2,
+                           vocab_size=32, max_position_embeddings=64)
+        else:
+            cfg = tiny_llama(hidden_size=32, num_heads=4, num_kv_heads=2,
+                             num_layers=2, vocab_size=32)
+        return GPTModel(cfg.scaled(attention_window=window), seed=0)
+
+    def test_cache_is_bounded(self):
+        """Decoding far past the window keeps ``cached_len`` bounded
+        while ``seq_len`` keeps counting absolute positions."""
+        model = self._model("llama", window=4)
+        cache = KVCache(len(model.blocks), window=4)
+        logits = forward_cached(model, np.zeros((1, 2), dtype=int), cache)
+        for _ in range(20):
+            nxt = int(np.argmax(logits[0]))
+            logits = forward_cached(
+                model, np.array([[nxt]], dtype=np.int64), cache
+            )
+        assert cache.seq_len == 22
+        assert cache.cached_len <= 4
+        assert cache.offset == cache.seq_len - cache.cached_len
+
+    @pytest.mark.parametrize("arch", ["gpt", "llama"])
+    def test_eviction_is_bitwise_invisible(self, arch):
+        """Step-for-step logits of an evicting cache equal those of a
+        never-evicting cache on the same windowed model."""
+        model = self._model(arch, window=3)
+        layers = len(model.blocks)
+        evicting, unbounded = KVCache(layers, window=3), KVCache(layers)
+        prompt = np.array([[5, 2, 7, 1]], dtype=np.int64)
+        a = forward_cached(model, prompt, evicting)
+        b = forward_cached(model, prompt, unbounded)
+        for _ in range(12):
+            np.testing.assert_array_equal(a, b)
+            nxt = np.array([[int(np.argmax(a[0]))]], dtype=np.int64)
+            a = forward_cached(model, nxt, evicting)
+            b = forward_cached(model, nxt, unbounded)
+        np.testing.assert_array_equal(a, b)
+        assert evicting.cached_len < unbounded.cached_len
+
+    @pytest.mark.parametrize("arch", ["gpt", "llama"])
+    @pytest.mark.parametrize("window", [2, 3, 5])
+    def test_matches_full_recompute_at_window_boundaries(self, arch, window):
+        """Cached windowed decode equals re-encoding the whole growing
+        prefix, stepping right across the eviction boundary — for both
+        RoPE (llama) and absolute-position (gpt) configs."""
+        model = self._model(arch, window=window)
+        prompt = rng(7).integers(0, 32, size=window + 1)
+        out = generate(model, prompt, max_new_tokens=window + 3)
+        seq = list(prompt)
+        for _ in range(window + 3):
+            seq.append(_full_recompute_next(model, np.array(seq)))
+        np.testing.assert_array_equal(out, np.array(seq))
+
+    def test_restore_round_trip(self):
+        """``KVCache.restore`` rebuilds a cache that continues decoding
+        exactly where the original left off."""
+        model = self._model("llama", window=4)
+        layers = len(model.blocks)
+        cache = KVCache(layers, window=4)
+        forward_cached(model, np.array([[1, 2, 3, 4, 5]], dtype=np.int64), cache)
+        restored = KVCache.restore(
+            [k.copy() for k in cache.keys],
+            [v.copy() for v in cache.values],
+            offset=cache.offset, total=cache.seq_len, window=4,
+        )
+        step = np.array([[6]], dtype=np.int64)
+        np.testing.assert_array_equal(
+            forward_cached(model, step, cache),
+            forward_cached(model, step, restored),
+        )
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            KVCache(1, window=0)

@@ -1,0 +1,243 @@
+"""Serving engine: bitwise equivalence with single-request decoding
+across prefill chunkings, offload modes, window configs, and injected
+faults; KV store residency and accounting."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ShapeError
+from repro.faults import FaultInjector, FaultPlan
+from repro.models import GPTModel, tiny_gpt, tiny_llama
+from repro.models.generate import generate
+from repro.runtime import VirtualCluster
+from repro.serving import (
+    EngineConfig,
+    Request,
+    RequestKVStore,
+    RequestState,
+    ServingEngine,
+)
+
+from .helpers import rng
+
+
+def _gpt():
+    return GPTModel(
+        tiny_gpt(hidden_size=32, num_heads=4, num_layers=2, vocab_size=32),
+        seed=0,
+    )
+
+
+def _llama(window=None):
+    cfg = tiny_llama(
+        hidden_size=32, num_heads=4, num_kv_heads=2, num_layers=2, vocab_size=32
+    )
+    if window is not None:
+        cfg = cfg.scaled(attention_window=window)
+    return GPTModel(cfg, seed=0)
+
+
+def _drive(engine, request):
+    """Run one request through the engine to completion serially."""
+    state = engine.start(request)
+    while state.state is RequestState.PREFILL:
+        engine.prefill_step(state)
+    while state.state is RequestState.DECODE:
+        engine.decode_step(state)
+    engine.finish(state)
+    return state
+
+
+class TestEngineMatchesGenerate:
+    @pytest.mark.parametrize("model_factory", [_gpt, _llama], ids=["gpt", "llama"])
+    @pytest.mark.parametrize("chunk", [None, 1, 3], ids=["whole", "c1", "c3"])
+    @pytest.mark.parametrize("offload", [True, False], ids=["offload", "inline"])
+    def test_bitwise_identical(self, model_factory, chunk, offload):
+        """Any prefill chunking, with or without host offload, decodes
+        the exact tokens of single-request ``generate()``."""
+        model = model_factory()
+        engine = ServingEngine(
+            model, config=EngineConfig(prefill_chunk=chunk, offload=offload)
+        )
+        prompt = rng(4).integers(0, 32, size=7)
+        request = Request(rid="r0", prompt=prompt, max_new_tokens=5)
+        state = _drive(engine, request)
+        reference = generate(model, prompt, max_new_tokens=5)
+        np.testing.assert_array_equal(state.output(), reference)
+
+    def test_windowed_model_bitwise_identical(self):
+        model = _llama(window=4)
+        engine = ServingEngine(model, config=EngineConfig(prefill_chunk=2))
+        prompt = rng(5).integers(0, 32, size=9)
+        request = Request(rid="r0", prompt=prompt, max_new_tokens=8)
+        state = _drive(engine, request)
+        np.testing.assert_array_equal(
+            state.output(), generate(model, prompt, max_new_tokens=8)
+        )
+
+    def test_temperature_sampling_matches_by_seed(self):
+        """Seeded temperature sampling consumes the identical RNG stream
+        in the engine and in ``generate()``."""
+        model = _gpt()
+        engine = ServingEngine(model, config=EngineConfig(prefill_chunk=3))
+        prompt = rng(6).integers(0, 32, size=6)
+        request = Request(
+            rid="r0", prompt=prompt, max_new_tokens=6, temperature=0.8, seed=11
+        )
+        state = _drive(engine, request)
+        reference = generate(
+            model, prompt, max_new_tokens=6, temperature=0.8, seed=11
+        )
+        np.testing.assert_array_equal(state.output(), reference)
+
+    def test_fault_injected_engine_bitwise_identical(self):
+        """Transient KV-transfer faults retry without perturbing data:
+        served tokens stay exactly equal to the clean decode."""
+        model = _gpt()
+        cluster = VirtualCluster(1)
+        injector = FaultInjector(FaultPlan(seed=3, offload_rate=0.2)).attach(cluster)
+        engine = ServingEngine(
+            model, config=EngineConfig(prefill_chunk=2), cluster=cluster
+        )
+        prompt = rng(7).integers(0, 32, size=8)
+        request = Request(rid="r0", prompt=prompt, max_new_tokens=6)
+        state = _drive(engine, request)
+        assert injector.stats()["total_faults"] > 0
+        np.testing.assert_array_equal(
+            state.output(), generate(model, prompt, max_new_tokens=6)
+        )
+
+
+class TestEngineLifecycle:
+    def test_host_bytes_released_after_finish(self):
+        """A completed request leaves no KV residue on the host."""
+        model = _gpt()
+        cluster = VirtualCluster(1)
+        engine = ServingEngine(model, cluster=cluster)
+        request = Request(
+            rid="r0", prompt=np.array([1, 2, 3]), max_new_tokens=3
+        )
+        state = engine.start(request)
+        engine.prefill_step(state)
+        assert engine.store.host_bytes > 0
+        while state.state is RequestState.DECODE:
+            engine.decode_step(state)
+        engine.finish(state)
+        assert engine.store.host_bytes == 0
+        assert cluster.host.pool.in_use == 0
+        assert cluster.devices[0].hbm.in_use == 0
+
+    def test_decode_batch_is_per_request_independent(self):
+        """A batched decode step produces exactly the per-request serial
+        tokens (continuous batching never mixes request arithmetic)."""
+        model = _gpt()
+        engine = ServingEngine(model, config=EngineConfig(prefill_chunk=4))
+        prompts = [rng(10 + i).integers(0, 32, size=4 + i) for i in range(3)]
+        states = []
+        for i, prompt in enumerate(prompts):
+            state = engine.start(
+                Request(rid=f"r{i}", prompt=prompt, max_new_tokens=4)
+            )
+            while state.state is RequestState.PREFILL:
+                engine.prefill_step(state)
+            states.append(state)
+        while any(s.state is RequestState.DECODE for s in states):
+            engine.decode_batch(
+                [s for s in states if s.state is RequestState.DECODE]
+            )
+        for state, prompt in zip(states, prompts):
+            engine.finish(state)
+            np.testing.assert_array_equal(
+                state.output(), generate(model, prompt, max_new_tokens=4)
+            )
+
+    def test_prefill_chunk_boundaries(self):
+        """Chunk sizes that don't divide the prompt still encode every
+        token exactly once."""
+        model = _gpt()
+        engine = ServingEngine(model, config=EngineConfig(prefill_chunk=3))
+        request = Request(
+            rid="r0", prompt=rng(12).integers(0, 32, size=7), max_new_tokens=1
+        )
+        state = engine.start(request)
+        steps = 0
+        while state.state is RequestState.PREFILL:
+            engine.prefill_step(state)
+            steps += 1
+        assert steps == 3  # 3 + 3 + 1
+        assert state.prefill_pos == 7
+
+    def test_state_machine_guards(self):
+        model = _gpt()
+        engine = ServingEngine(model)
+        request = Request(rid="r0", prompt=np.array([1]), max_new_tokens=1)
+        state = engine.start(request)
+        with pytest.raises(RuntimeError, match="not decoding"):
+            engine.decode_step(state)
+        engine.prefill_step(state)
+        with pytest.raises(RuntimeError, match="not in prefill"):
+            engine.prefill_step(state)
+
+    def test_request_validation(self):
+        with pytest.raises(ShapeError, match="at least one token"):
+            Request(rid="r0", prompt=np.zeros(0, dtype=int), max_new_tokens=1)
+        with pytest.raises(ShapeError, match="1-D"):
+            Request(rid="r0", prompt=np.zeros((1, 3), dtype=int), max_new_tokens=1)
+        with pytest.raises(ValueError):
+            Request(rid="r0", prompt=np.array([1]), max_new_tokens=0)
+        with pytest.raises(ValueError):
+            Request(rid="r0", prompt=np.array([1]), max_new_tokens=1, temperature=-1)
+
+
+class TestRequestKVStore:
+    def test_save_load_round_trip(self):
+        cluster = VirtualCluster(1)
+        store = RequestKVStore(cluster, num_layers=2)
+        from repro.models.generate import KVCache
+
+        kv = KVCache(2)
+        for layer in range(2):
+            kv.append(layer, rng(layer).normal(size=(1, 3, 2, 4)),
+                      rng(layer + 5).normal(size=(1, 3, 2, 4)))
+        keys_before = [k.copy() for k in kv.keys]
+        store.save("r0", kv)
+        assert "r0" in store and len(store) == 1
+        assert store.host_bytes > 0
+        restored = store.load("r0")
+        assert "r0" not in store
+        assert store.host_bytes == 0
+        for layer in range(2):
+            np.testing.assert_array_equal(restored.keys[layer], keys_before[layer])
+        assert restored.seq_len == 3 and restored.offset == 0
+
+    def test_double_save_raises(self):
+        cluster = VirtualCluster(1)
+        store = RequestKVStore(cluster, num_layers=1)
+        from repro.models.generate import KVCache
+
+        kv = KVCache(1)
+        kv.append(0, np.ones((1, 2, 1, 4)), np.ones((1, 2, 1, 4)))
+        store.save("r0", kv)
+        with pytest.raises(KeyError, match="already holds"):
+            store.save("r0", kv)
+
+    def test_load_and_evict_missing_raise(self):
+        cluster = VirtualCluster(1)
+        store = RequestKVStore(cluster, num_layers=1)
+        with pytest.raises(KeyError, match="no request"):
+            store.load("ghost")
+        with pytest.raises(KeyError, match="no request"):
+            store.evict("ghost")
+
+    def test_load_after_evict_raises(self):
+        cluster = VirtualCluster(1)
+        store = RequestKVStore(cluster, num_layers=1)
+        from repro.models.generate import KVCache
+
+        kv = KVCache(1)
+        kv.append(0, np.ones((1, 2, 1, 4)), np.ones((1, 2, 1, 4)))
+        store.save("r0", kv)
+        store.evict("r0")
+        assert store.host_bytes == 0
+        with pytest.raises(KeyError, match="no request"):
+            store.load("r0")

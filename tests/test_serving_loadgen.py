@@ -1,0 +1,149 @@
+"""Load generator: deterministic synthesis, long-tail shape, and full
+replays (clean and chaos) gating on zero drops and bitwise outputs."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan
+from repro.models import GPTModel, tiny_gpt, tiny_llama
+from repro.serving import (
+    EngineConfig,
+    LoadGenConfig,
+    SchedulerConfig,
+    run_load,
+    synthesize_requests,
+)
+
+
+def _model():
+    return GPTModel(
+        tiny_gpt(hidden_size=32, num_heads=4, num_layers=1, vocab_size=32),
+        seed=0,
+    )
+
+
+class TestSynthesize:
+    def test_deterministic(self):
+        cfg = LoadGenConfig(num_requests=30, seed=5)
+        a = synthesize_requests(cfg, vocab_size=32)
+        b = synthesize_requests(cfg, vocab_size=32)
+        assert len(a) == len(b) == 30
+        for ra, rb in zip(a, b):
+            assert ra.rid == rb.rid
+            assert ra.tenant == rb.tenant
+            assert ra.priority == rb.priority
+            assert ra.arrival_tick == rb.arrival_tick
+            assert ra.max_new_tokens == rb.max_new_tokens
+            np.testing.assert_array_equal(ra.prompt, rb.prompt)
+
+    def test_long_tail_prompt_lengths(self):
+        """Lognormal lengths: the tail is much longer than the median
+        but clipped at max_prompt."""
+        cfg = LoadGenConfig(
+            num_requests=300, seed=1, prompt_log_mean=2.0,
+            prompt_log_sigma=1.0, max_prompt=500,
+        )
+        lengths = [r.prompt_len for r in synthesize_requests(cfg, 32)]
+        assert max(lengths) <= 500 and min(lengths) >= 1
+        assert max(lengths) > 4 * float(np.median(lengths))
+
+    def test_arrivals_are_nondecreasing(self):
+        cfg = LoadGenConfig(num_requests=50, seed=2)
+        ticks = [r.arrival_tick for r in synthesize_requests(cfg, 32)]
+        assert ticks == sorted(ticks)
+
+    def test_position_budget_caps_prompt(self):
+        cfg = LoadGenConfig(num_requests=50, seed=3, max_prompt=1000,
+                            max_new_tokens=8)
+        requests = synthesize_requests(cfg, 32, position_budget=64)
+        assert all(r.prompt_len + 8 <= 64 for r in requests)
+        with pytest.raises(ValueError, match="no room"):
+            synthesize_requests(cfg, 32, position_budget=8)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LoadGenConfig(num_requests=0)
+        with pytest.raises(ValueError):
+            LoadGenConfig(arrival_rate=0)
+
+
+class TestRunLoad:
+    def test_clean_replay_zero_drop_zero_mismatch(self):
+        model = _model()
+        cfg = LoadGenConfig(num_requests=25, seed=4, max_prompt=32,
+                            max_new_tokens=6)
+        requests = synthesize_requests(
+            cfg, 32, position_budget=model.config.max_position_embeddings
+        )
+        report = run_load(
+            model, requests,
+            engine_config=EngineConfig(prefill_chunk=8),
+            scheduler_config=SchedulerConfig(max_live=4, tenant_quota=2),
+            verify="all",
+        )
+        assert report.ok
+        assert report.completed == 25 and report.dropped == 0
+        assert report.verified == 25 and report.mismatched == 0
+        assert report.goodput > 0
+        assert report.h2d_bytes > 0 and report.d2h_bytes > 0
+        assert report.latency_p99 >= report.latency_p50 > 0
+
+    def test_chaos_replay_still_bitwise(self):
+        """Injected transfer faults produce retries but zero output
+        divergence — the serve-smoke chaos gate."""
+        model = _model()
+        cfg = LoadGenConfig(num_requests=15, seed=5, max_prompt=32,
+                            max_new_tokens=5)
+        requests = synthesize_requests(
+            cfg, 32, position_budget=model.config.max_position_embeddings
+        )
+        report = run_load(
+            model, requests,
+            engine_config=EngineConfig(prefill_chunk=8),
+            fault_plan=FaultPlan(seed=6, offload_rate=0.1),
+            verify="all",
+        )
+        assert report.fault_stats["total_faults"] > 0
+        assert report.fault_stats["retries"] > 0
+        assert report.ok
+
+    def test_replay_is_deterministic(self):
+        model = _model()
+        cfg = LoadGenConfig(num_requests=20, seed=6, max_prompt=32,
+                            max_new_tokens=5)
+        requests = synthesize_requests(
+            cfg, 32, position_budget=model.config.max_position_embeddings
+        )
+        a = run_load(model, requests, verify="none")
+        b = run_load(model, requests, verify="none")
+        assert a.schedule_digest == b.schedule_digest
+        assert a.ticks == b.ticks
+        assert (a.h2d_bytes, a.d2h_bytes) == (b.h2d_bytes, b.d2h_bytes)
+
+    def test_windowed_llama_replay(self):
+        cfg = tiny_llama(
+            hidden_size=32, num_heads=4, num_kv_heads=2, num_layers=1,
+            vocab_size=32,
+        ).scaled(attention_window=6)
+        model = GPTModel(cfg, seed=1)
+        load = LoadGenConfig(num_requests=12, seed=7, max_prompt=24,
+                             max_new_tokens=6, temperature=0.9)
+        report = run_load(
+            model, synthesize_requests(load, 32),
+            engine_config=EngineConfig(prefill_chunk=4),
+            verify="all",
+        )
+        assert report.ok
+
+    def test_verify_sampling_and_validation(self):
+        model = _model()
+        cfg = LoadGenConfig(num_requests=10, seed=8, max_prompt=16,
+                            max_new_tokens=3)
+        requests = synthesize_requests(
+            cfg, 32, position_budget=model.config.max_position_embeddings
+        )
+        report = run_load(model, requests, verify=4)
+        assert report.verified == 4 and report.mismatched == 0
+        assert run_load(model, requests, verify="none").verified == 0
+        with pytest.raises(ValueError, match="verify"):
+            run_load(model, requests, verify="bogus")

@@ -1,6 +1,6 @@
 # Common developer targets.
 
-.PHONY: install test bench chaos experiments examples all
+.PHONY: install test bench chaos obs experiments examples all
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,6 +16,18 @@ chaos:
 
 serve:
 	python -m repro serve bench --requests 400 --verify all
+
+# Observability smoke: chaos crash -> parseable flight-recorder dump,
+# and an SLO-gated span-traced serving replay.
+obs:
+	python -m repro chaos --quick --flight-recorder /tmp/obs_flight.json
+	python -m repro obs postmortem /tmp/obs_flight.json
+	python -m repro obs export /tmp/obs_flight.json --out /tmp/obs_flight_trace.json
+	python -m repro serve bench --requests 400 --verify none \
+		--spans /tmp/obs_spans.json --report-json /tmp/obs_report.json \
+		--slo "ttft_p99<=200" --slo "latency_p99<=400"
+	python -m repro obs spans /tmp/obs_spans.json --limit 3
+	python -m repro obs slo /tmp/obs_report.json --objective "ttft_p99<=200"
 
 experiments:
 	python -m repro experiment table1

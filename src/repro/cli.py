@@ -12,6 +12,11 @@
     python -m repro metrics diff results/golden_runlog.jsonl results/runlog.jsonl
     python -m repro chaos --quick
     python -m repro serve bench --requests 10000
+    python -m repro serve bench --requests 1000 --verify none \\
+        --spans results/spans.json --slo "ttft_p99<=60"
+    python -m repro obs spans results/spans.json --limit 5
+    python -m repro obs postmortem /tmp/flight.json
+    python -m repro obs export results/spans.json --out results/spans_trace.json
 
 ``plan`` is the Table-1 question (max context per strategy), ``tune``
 the §5.3 question (which chunk size), ``experiment`` regenerates any
@@ -26,6 +31,11 @@ loss curve is bitwise identical to a clean run.  ``serve bench``
 replays a synthetic heavy-traffic request mix through the
 continuous-batching serving engine and exits non-zero when any request
 is dropped or any served output diverges from single-request decoding.
+``obs`` is the observability toolbox: ``obs spans`` renders causal
+span trees (and fails on orphans), ``obs slo`` gates latency/TTFT
+objectives against a saved serve report, ``obs postmortem`` renders a
+crash flight-recorder dump, and ``obs export`` converts span logs to
+Chrome-trace JSON for Perfetto.
 """
 
 from __future__ import annotations
@@ -293,6 +303,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         checkpoint_every=args.checkpoint_every,
         run_log_path=args.run_log,
+        flight_recorder_path=args.flight_recorder,
     )
     stats = run.fault_stats
     print(f"chaos run: {steps} steps, crash at {run.crash_at}, "
@@ -305,6 +316,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
           f"retry-storm alerts {run.alerts}")
     if args.run_log:
         print(f"  [run log written to {args.run_log}]")
+    if run.flight_recorder is not None:
+        print(f"  [flight-recorder dump at {run.flight_recorder} — "
+              f"render with `repro obs postmortem`]")
     if run.bitwise_equal:
         print("  loss curve: bitwise identical to the clean run — "
               "recovery is exact")
@@ -322,6 +336,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 def cmd_serve(args: argparse.Namespace) -> int:
     import time
 
+    from repro.common.errors import InjectedCrash, PermanentFaultError
     from repro.faults import FaultPlan
     from repro.models.config import tiny_gpt, tiny_llama
     from repro.models.transformer import GPTModel
@@ -369,32 +384,84 @@ def cmd_serve(args: argparse.Namespace) -> int:
     plan = None
     if args.chaos:
         plan = FaultPlan(seed=args.seed, offload_rate=args.offload_rate)
+
+    tracer = recorder = slo_monitor = registry = None
+    if args.spans or args.flight_recorder:
+        from repro.obs import FlightRecorder, SpanTracer
+
+        tracer = SpanTracer()
+        if args.flight_recorder:
+            recorder = FlightRecorder().attach(tracer)
+            recorder.arm(args.flight_recorder)
+    if args.slo:
+        from repro.telemetry.metrics import MetricsRegistry
+        from repro.telemetry.monitors import SLOMonitor
+
+        registry = MetricsRegistry()
+        try:
+            slo_monitor = SLOMonitor(args.slo, registry=registry,
+                                     burn_alert=args.burn_alert)
+        except ValueError as exc:
+            print(f"serve: {exc}", file=sys.stderr)
+            return 2
+
     chaos = " under chaos" if plan is not None else ""
     print(f"replaying {args.requests} requests through the serving "
           f"engine ({cfg.name}{chaos}):")
     start = time.perf_counter()
-    report = run_load(
-        model, requests,
-        engine_config=EngineConfig(prefill_chunk=args.prefill_chunk),
-        scheduler_config=SchedulerConfig(
-            max_live=args.max_live,
-            tenant_quota=args.tenant_quota,
-            max_queue=args.max_queue,
-            prefill_chunks_per_tick=args.prefill_chunks,
-        ),
-        fault_plan=plan,
-        verify=verify,
-    )
+    try:
+        report = run_load(
+            model, requests,
+            engine_config=EngineConfig(prefill_chunk=args.prefill_chunk),
+            scheduler_config=SchedulerConfig(
+                max_live=args.max_live,
+                tenant_quota=args.tenant_quota,
+                max_queue=args.max_queue,
+                prefill_chunks_per_tick=args.prefill_chunks,
+            ),
+            fault_plan=plan,
+            registry=registry,
+            verify=verify,
+            tracer=tracer,
+            slo=slo_monitor,
+            recorder=recorder,
+        )
+    except (InjectedCrash, PermanentFaultError) as exc:
+        print(f"serve: replay crashed: {exc}", file=sys.stderr)
+        if recorder is not None and recorder.dumped is not None:
+            print(f"serve: flight-recorder dump at {recorder.dumped} "
+                  f"(render with `repro obs postmortem`)", file=sys.stderr)
+        return 1
     elapsed = time.perf_counter() - start
     print(report.render())
     print(f"wall time       {elapsed:.1f} s "
           f"({report.ticks / max(elapsed, 1e-9):,.0f} ticks/s)")
+    if tracer is not None and args.spans:
+        path = tracer.dump_spans(args.spans)
+        print(f"[span log written to {path}]")
+    if args.report_json:
+        import dataclasses as _dc
+        import json as _json
+        from pathlib import Path as _Path
+
+        path = _Path(args.report_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(_dc.asdict(report), indent=1))
+        print(f"[report written to {path}]")
     if report.dropped:
         print(f"serve: {report.dropped} request(s) dropped", file=sys.stderr)
         return 1
     if report.mismatched:
         print(f"serve: {report.mismatched} request(s) diverged from "
               f"single-request decode", file=sys.stderr)
+        return 1
+    if report.orphan_spans:
+        print(f"serve: {report.orphan_spans} orphan span(s) — causal "
+              f"trees incomplete", file=sys.stderr)
+        return 1
+    if report.slo_violations:
+        print(f"serve: {report.slo_violations} SLO objective(s) violated",
+              file=sys.stderr)
         return 1
     print(f"serve: {report.completed} completed, {report.verified} verified "
           f"bitwise against generate()")
@@ -454,6 +521,99 @@ def cmd_metrics_diff(args: argparse.Namespace) -> int:
         )
         return 1
     print(f"metrics diff: {sum(1 for d in diffs if d.gated)} gated metric(s) ok")
+    return 0
+
+
+def _load_obs_doc(path: str) -> dict | None:
+    """Load a span log / flight-recorder dump, printing the parse error
+    (exit-code handling is the caller's)."""
+    from repro.obs import load_dump
+
+    try:
+        return load_dump(path)
+    except (OSError, ValueError) as exc:
+        print(f"obs: {exc}", file=sys.stderr)
+        return None
+
+
+def cmd_obs_spans(args: argparse.Namespace) -> int:
+    from repro.obs import all_spans, orphan_spans, render_spans
+
+    doc = _load_obs_doc(args.path)
+    if doc is None:
+        return 2
+    print(render_spans(doc, trace_id=args.trace, limit=args.limit))
+    orphans = orphan_spans(all_spans(doc))
+    if orphans:
+        print(f"obs: {len(orphans)} orphan span(s) — causal trees "
+              f"incomplete", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_obs_slo(args: argparse.Namespace) -> int:
+    import json
+    import math
+
+    from repro.telemetry.monitors import SLObjective
+
+    try:
+        doc = json.loads(open(args.path).read())
+    except (OSError, ValueError) as exc:
+        print(f"obs slo: {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(doc, dict):
+        print(f"obs slo: {args.path} is not a report JSON", file=sys.stderr)
+        return 2
+    metrics = doc.get("metrics", doc)
+
+    violated = 0
+    for spec in args.objective:
+        try:
+            obj = SLObjective.parse(spec)
+        except ValueError as exc:
+            print(f"obs slo: {exc}", file=sys.stderr)
+            return 2
+        stats = metrics.get(obj.metric)
+        key = f"p{round(obj.quantile * 100)}"
+        value = stats.get(key) if isinstance(stats, dict) else None
+        if value is None or not stats.get("count"):
+            print(f"  {obj.name:<16s} no observations for "
+                  f"{obj.metric} {key} [skipped]")
+            continue
+        value = float(value)
+        bad = not math.isfinite(value) or value > obj.threshold
+        verdict = "VIOLATED" if bad else "ok"
+        print(f"  {obj.name:<16s} {value:g} vs <= {obj.threshold:g} "
+              f"[{verdict}]")
+        violated += bad
+    if violated:
+        print(f"obs slo: {violated} objective(s) violated", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_obs_postmortem(args: argparse.Namespace) -> int:
+    from repro.obs import render_postmortem
+
+    doc = _load_obs_doc(args.path)
+    if doc is None:
+        return 2
+    print(render_postmortem(doc))
+    return 0
+
+
+def cmd_obs_export(args: argparse.Namespace) -> int:
+    from repro.obs import all_spans
+    from repro.profiler import write_span_trace
+
+    doc = _load_obs_doc(args.path)
+    if doc is None:
+        return 2
+    spans = all_spans(doc)
+    path = write_span_trace(args.out, spans, tick_us=args.tick_us)
+    print(f"[{len(spans)} spans written to {path} — open in "
+          f"https://ui.perfetto.dev]")
     return 0
 
 
@@ -612,6 +772,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_sbench.add_argument("--verify", default="all", metavar="all|none|N",
                           help="completed requests to re-decode "
                                "single-request and compare bitwise")
+    p_sbench.add_argument("--slo", action="append", default=[],
+                          metavar="NAME_pQQ<=THRESH",
+                          help="serving SLO objective, e.g. ttft_p99<=40 "
+                               "(repeatable); exit 1 on violation")
+    p_sbench.add_argument("--burn-alert", type=float, default=1.0,
+                          help="error-budget burn-rate alert threshold")
+    p_sbench.add_argument("--spans", metavar="PATH", default=None,
+                          help="record causal request spans and write the "
+                               "span log JSON to PATH")
+    p_sbench.add_argument("--report-json", metavar="PATH", default=None,
+                          help="write the full serve report as JSON "
+                               "(input for `repro obs slo`)")
+    p_sbench.add_argument("--flight-recorder", metavar="PATH", default=None,
+                          help="arm a crash flight recorder; a replay "
+                               "crash or SLO alert dumps recent spans + "
+                               "step records to PATH")
     _add_workers_arg(p_sbench)
     p_sbench.set_defaults(fn=cmd_serve)
 
@@ -641,7 +817,56 @@ def build_parser() -> argparse.ArgumentParser:
                          help="checkpoint interval in steps")
     p_chaos.add_argument("--run-log", metavar="PATH", default=None,
                          help="write the chaos run's JSONL telemetry log")
+    p_chaos.add_argument("--flight-recorder", metavar="PATH", default=None,
+                         help="arm a crash flight recorder on the chaos "
+                              "life; the injected crash dumps its "
+                              "in-flight spans + step records to PATH")
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="observability: render span logs, gate SLOs, and read "
+             "crash flight-recorder dumps",
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_ospans = obs_sub.add_parser(
+        "spans",
+        help="render a span log's causal trees; exit 1 on orphan spans",
+    )
+    p_ospans.add_argument("path", metavar="SPANS_JSON")
+    p_ospans.add_argument("--trace", metavar="ID", default=None,
+                          help="only this trace (request id / step-N)")
+    p_ospans.add_argument("--limit", type=int, default=None, metavar="N",
+                          help="render at most N traces")
+    p_ospans.set_defaults(fn=cmd_obs_spans)
+    p_oslo = obs_sub.add_parser(
+        "slo",
+        help="gate SLO objectives against a serve report JSON; exit 1 "
+             "on violation",
+    )
+    p_oslo.add_argument("path", metavar="REPORT_JSON")
+    p_oslo.add_argument("--objective", action="append", required=True,
+                        metavar="NAME_pQQ<=THRESH",
+                        help="objective spec, e.g. ttft_p99<=40 (repeatable)")
+    p_oslo.set_defaults(fn=cmd_obs_slo)
+    p_opost = obs_sub.add_parser(
+        "postmortem",
+        help="render a flight-recorder dump (crash cause, in-flight "
+             "spans, last step records); exit 2 if unparseable",
+    )
+    p_opost.add_argument("path", metavar="DUMP_JSON")
+    p_opost.set_defaults(fn=cmd_obs_postmortem)
+    p_oexp = obs_sub.add_parser(
+        "export",
+        help="convert a span log / dump to Chrome-trace JSON (Perfetto "
+             "flame view, one lane per tree depth)",
+    )
+    p_oexp.add_argument("path", metavar="SPANS_OR_DUMP_JSON")
+    p_oexp.add_argument("--out", required=True, metavar="PATH",
+                        help="Chrome-trace JSON output path")
+    p_oexp.add_argument("--tick-us", type=float, default=1000.0,
+                        help="microseconds per logical tick on the timeline")
+    p_oexp.set_defaults(fn=cmd_obs_export)
     return parser
 
 

@@ -65,6 +65,9 @@ class ChaosRun:
     #: Retry-storm alerts raised by the FaultRateMonitor.
     alerts: int = 0
     checkpoint: Path | None = None
+    #: Flight-recorder dump left by the crash (``flight_recorder_path``
+    #: was set and the plan crashed); None otherwise.
+    flight_recorder: Path | None = None
 
 
 def _build(seed: int, world: int, num_chunks: int):
@@ -101,6 +104,7 @@ def chaos_run(
     workdir: str | Path | None = None,
     run_log_path: str | Path | None = None,
     max_retries_per_step: int = 8,
+    flight_recorder_path: str | Path | None = None,
 ) -> ChaosRun:
     """Run the clean/chaos/resume experiment and return the verdict.
 
@@ -108,6 +112,11 @@ def chaos_run(
     and offload faults, occasional stragglers and HBM spikes, crash at
     ``steps // 2``).  ``workdir`` holds the checkpoint (and survives the
     call when given; otherwise a temp dir is used and cleaned up).
+
+    ``flight_recorder_path`` arms a :class:`repro.obs.FlightRecorder`
+    (with a span tracer on the chaos life): the injected crash leaves an
+    atomic postmortem dump there — the crashing step's span still in
+    flight — without disturbing the bitwise-equality verdict.
     """
     if plan is None:
         plan = FaultPlan(
@@ -142,9 +151,16 @@ def chaos_run(
         model, corpus, runner = _build(seed, world, num_chunks)
         injector = FaultInjector(plan).attach(runner.cluster)
         logger = _logger(run_log_path, max_retries_per_step)
+        tracer = recorder = None
+        if flight_recorder_path is not None:
+            from repro.obs import FlightRecorder, SpanTracer
+
+            tracer = SpanTracer()
+            recorder = FlightRecorder().attach(tracer)
+            recorder.arm(flight_recorder_path)
         trainer = Trainer(
             model, corpus, runner=runner, lr=5e-3, grad_clip=1.0,
-            telemetry=logger,
+            telemetry=logger, tracer=tracer, flight_recorder=recorder,
         )
         crashed_losses: list[float] = []
         resumed_from: int | None = None
@@ -159,6 +175,10 @@ def chaos_run(
             alerts = len(logger.alerts)
         except InjectedCrash as crash:
             crashed_losses = list(trainer.result.losses)
+            # Error listeners dumped from inside the dying span already;
+            # this fallback covers a crash outside any span context.
+            if recorder is not None and recorder.dumped is None:
+                recorder.dump(reason="injected crash", exc=crash)
             # 3. Resume — fresh everything, as a restarted process would
             # have; the crash step itself never ran, the checkpoint may
             # be older still.  No further crash is scheduled.
@@ -201,6 +221,7 @@ def chaos_run(
             summary=summary,
             alerts=alerts,
             checkpoint=normalize_checkpoint_path(ckpt) if tmp is None else None,
+            flight_recorder=recorder.dumped if recorder is not None else None,
         )
     finally:
         if tmp is not None:

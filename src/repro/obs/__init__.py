@@ -1,0 +1,42 @@
+"""Causal observability: span tracing, flight recording, postmortems.
+
+``repro.obs`` answers the questions flat traces and aggregate metrics
+cannot: *why was this request slow* (span trees with per-phase TTFT
+decomposition), *what was in flight when the run died* (flight-recorder
+dumps with open spans), and *is the fleet meeting its objectives* (SLO
+evaluation lives in :mod:`repro.telemetry.monitors`, fed by the same
+registry histograms).
+
+Everything is bitwise-invisible to the systems it observes — see
+:mod:`repro.obs.span` for the contract.
+"""
+
+from repro.obs.postmortem import (
+    all_spans,
+    build_trees,
+    load_dump,
+    orphan_spans,
+    render_postmortem,
+    render_spans,
+    render_tree,
+    ttft_breakdown,
+)
+from repro.obs.recorder import DEFAULT_DUMP_EXCEPTIONS, FlightRecorder
+from repro.obs.span import Span, SpanTracer, atomic_write_json, span_from_dict
+
+__all__ = [
+    "Span",
+    "SpanTracer",
+    "FlightRecorder",
+    "DEFAULT_DUMP_EXCEPTIONS",
+    "span_from_dict",
+    "atomic_write_json",
+    "load_dump",
+    "all_spans",
+    "build_trees",
+    "orphan_spans",
+    "render_tree",
+    "render_spans",
+    "render_postmortem",
+    "ttft_breakdown",
+]

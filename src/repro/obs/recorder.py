@@ -1,0 +1,180 @@
+"""Crash flight recorder: bounded span/step rings dumped on failure.
+
+Production long-context runs die mid-step — an injected crash in the
+chaos gate, a permanent link failure after the retry budget, an SLO
+monitor tripping on a saturated replay.  The run log tells you *that*
+the run died; the flight recorder tells you *what was in flight*: the
+last N completed spans, the last M step records, and — the part no
+other artifact has — the spans still open at the moment of death (the
+crashing train step, the prefill chunk whose d2h transfer never
+finished).
+
+The recorder is a :class:`~repro.telemetry.monitors.HealthMonitor`
+(step records arrive through the normal monitor path) that also
+subscribes to a :class:`~repro.obs.span.SpanTracer`'s completion and
+error listeners.  It keeps bounded ``deque`` rings — memory stays
+constant over million-span replays — and tracks a high-watermark so
+telemetry can report how full the ring ran.
+
+Dumps are atomic (temp file + ``os.replace``): a dump interrupted by
+the process dying never leaves a torn JSON for ``repro obs
+postmortem`` to choke on.
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections import deque
+from pathlib import Path
+
+from repro.common.errors import InjectedCrash, PermanentFaultError
+from repro.obs.span import Span, SpanTracer, atomic_write_json
+from repro.telemetry.monitors import HealthAlert, HealthMonitor
+
+#: Exceptions that trigger an armed dump from inside a failing span.
+DEFAULT_DUMP_EXCEPTIONS = (InjectedCrash, PermanentFaultError)
+
+
+class FlightRecorder(HealthMonitor):
+    """Bounded ring of recent spans + step records with crash dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Completed spans retained (oldest evicted first).
+    step_capacity:
+        Step records retained.
+    """
+
+    name = "flight_recorder"
+
+    def __init__(self, *, capacity: int = 512, step_capacity: int = 64):
+        super().__init__()
+        if capacity < 1 or step_capacity < 1:
+            raise ValueError("recorder capacities must be >= 1")
+        self.capacity = capacity
+        self.step_capacity = step_capacity
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._steps: deque[dict] = deque(maxlen=step_capacity)
+        #: Most spans simultaneously resident in the ring.
+        self.high_watermark = 0
+        #: Spans evicted from the ring (total seen - capacity retained).
+        self.dropped_spans = 0
+        #: Path of the last dump written, if any.
+        self.dumped: Path | None = None
+        self._tracer: SpanTracer | None = None
+        self._armed_path: Path | None = None
+        self._dump_exceptions: tuple = DEFAULT_DUMP_EXCEPTIONS
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, tracer: SpanTracer) -> "FlightRecorder":
+        """Subscribe to ``tracer``: completed spans feed the ring, and
+        span-scoped exceptions (while the failing span is still open)
+        trigger an armed dump."""
+        self._tracer = tracer
+        tracer.listeners.append(self.observe_span)
+        tracer.error_listeners.append(self.on_error)
+        return self
+
+    def arm(self, path: str | Path, *, exc_types: tuple | None = None) -> None:
+        """Arm automatic crash dumps to ``path``.  Only exceptions in
+        ``exc_types`` (default: injected crashes and permanent faults)
+        trigger a dump — ordinary retried faults never do."""
+        self._armed_path = Path(path)
+        if exc_types is not None:
+            self._dump_exceptions = tuple(exc_types)
+
+    @property
+    def armed(self) -> bool:
+        """Whether a crash-dump path has been armed."""
+        return self._armed_path is not None
+
+    # -- feeds --------------------------------------------------------------
+
+    def observe_span(self, span: Span) -> None:
+        """Ring-buffer one completed span."""
+        if len(self._spans) == self._spans.maxlen:
+            self.dropped_spans += 1
+        self._spans.append(span)
+        self.high_watermark = max(self.high_watermark, len(self._spans))
+
+    def observe_step(self, record) -> list[HealthAlert]:
+        """Monitor hook: ring-buffer the step record (as its run-log
+        row).  Never alerts — the recorder observes, others judge."""
+        self._steps.append(record.to_record())
+        return []
+
+    def on_error(self, span: Span, exc: BaseException) -> None:
+        """Error-listener hook, called *before* the failing span closes
+        so the dump captures it (and its ancestors) in flight."""
+        if self._armed_path is None:
+            return
+        if not isinstance(exc, self._dump_exceptions):
+            return
+        # First dump wins: as the exception unwinds, every ancestor
+        # span's error listener fires too — the innermost dump has the
+        # deepest in-flight view, so later ones must not overwrite it.
+        if self.dumped is not None:
+            return
+        self.dump(self._armed_path, reason=f"crash in span {span.name}", exc=exc)
+
+    # -- dumping ------------------------------------------------------------
+
+    def dump(
+        self,
+        path: str | Path | None = None,
+        *,
+        reason: str = "manual",
+        exc: BaseException | None = None,
+    ) -> Path:
+        """Atomically write the flight-recorder document.
+
+        The document is self-contained: ring contents, in-flight spans
+        (from the attached tracer), the triggering exception, and ring
+        statistics — everything ``repro obs postmortem`` needs.
+        """
+        if path is None:
+            path = self._armed_path
+        if path is None:
+            raise ValueError("no dump path: pass one or arm() the recorder")
+        in_flight = (
+            [s.to_dict() for s in self._tracer.open_spans()]
+            if self._tracer is not None
+            else []
+        )
+        doc = {
+            "record": "flight_recorder",
+            "reason": reason,
+            "exception": None,
+            "tick": self._tracer.tick if self._tracer is not None else None,
+            "capacity": self.capacity,
+            "high_watermark": self.high_watermark,
+            "dropped_spans": self.dropped_spans,
+            "in_flight": in_flight,
+            "spans": [s.to_dict() for s in self._spans],
+            "step_records": list(self._steps),
+        }
+        if exc is not None:
+            doc["exception"] = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exception(
+                    type(exc), exc, exc.__traceback__
+                ),
+            }
+        self.dumped = atomic_write_json(path, doc)
+        return self.dumped
+
+    # -- readback -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Ring statistics for telemetry (`flight_recorder_*` fields)."""
+        return {
+            "capacity": self.capacity,
+            "resident_spans": len(self._spans),
+            "high_watermark": self.high_watermark,
+            "dropped_spans": self.dropped_spans,
+            "step_records": len(self._steps),
+            "dumped": str(self.dumped) if self.dumped else None,
+        }

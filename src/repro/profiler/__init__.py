@@ -12,8 +12,10 @@ Public surface::
 
 from repro.profiler.chrome_trace import (
     cluster_memory_timelines,
+    spans_to_chrome_trace,
     to_chrome_trace,
     write_chrome_trace,
+    write_span_trace,
 )
 from repro.profiler.harness import ProfiledRun, run_profiled_step
 from repro.profiler.replay import (
@@ -34,5 +36,7 @@ __all__ = [
     "run_profiled_step",
     "to_chrome_trace",
     "write_chrome_trace",
+    "spans_to_chrome_trace",
+    "write_span_trace",
     "cluster_memory_timelines",
 ]

@@ -146,6 +146,98 @@ def to_chrome_trace(
     }
 
 
+def spans_to_chrome_trace(spans: list[dict], *, tick_us: float = 1000.0) -> dict:
+    """Perfetto export of a causal span log (serving requests, training
+    steps, scheduler ticks) — the flame view per request.
+
+    ``spans`` are :meth:`repro.obs.Span.to_dict` dicts (a tracer's
+    ``to_dicts()``, or a dump's ``spans`` + ``in_flight``).  Spans carry
+    *logical-clock* times (scheduler ticks / training steps), so one
+    tick maps to ``tick_us`` microseconds on the timeline — relative
+    widths are exact phase durations, not wall time.
+
+    Layout: one *process* per trace (request / step / scheduler), one
+    *thread* per tree depth — explicit depth lanes rather than relying
+    on the viewer's nesting inference, since sibling phase spans at the
+    same tick would otherwise be ambiguous.  Spans still open (a crash
+    dump's in-flight set) render to the end of the visible range and are
+    flagged ``open`` in ``args``.
+    """
+    events: list[dict] = []
+    by_trace: dict[str, list[dict]] = {}
+    for span in spans:
+        by_trace.setdefault(span["trace_id"], []).append(span)
+    horizon = max(
+        (
+            s["end"] if s.get("end") is not None else s.get("start", 0.0)
+            for s in spans
+        ),
+        default=0.0,
+    ) + 1.0
+    for pid, trace_id in enumerate(sorted(by_trace), start=1):
+        events.append(
+            {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+             "args": {"name": f"trace {trace_id}"}}
+        )
+        depths_seen: set[int] = set()
+        for span in sorted(by_trace[trace_id], key=lambda s: s["span_id"]):
+            depth = span["span_id"].count(".")
+            depths_seen.add(depth)
+            start = float(span.get("start", 0.0))
+            end = span.get("end")
+            open_span = end is None
+            dur = (horizon if open_span else float(end)) - start
+            args: dict = {"kind": span.get("kind", "span"),
+                          "span_id": span["span_id"]}
+            if span.get("parent_id") is not None:
+                args["parent_id"] = span["parent_id"]
+            args.update(span.get("attrs", {}))
+            counts = span.get("event_counts") or {}
+            if counts:
+                args["events"] = dict(counts)
+            nbytes = sum((span.get("event_bytes") or {}).values())
+            if nbytes:
+                args["nbytes"] = nbytes
+            if open_span:
+                args["open"] = True
+            if span.get("error"):
+                args["error"] = span["error"]
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span["name"],
+                    "cat": span.get("kind", "span"),
+                    "ts": start * tick_us,
+                    # Zero-duration spans (same-tick start/end) get a
+                    # sliver so they stay visible in the flame view.
+                    "dur": max(dur, 0.05) * tick_us,
+                    "pid": pid,
+                    "tid": depth + 1,
+                    "args": args,
+                }
+            )
+        for depth in sorted(depths_seen):
+            events.append(
+                {"ph": "M", "name": "thread_name", "pid": pid,
+                 "tid": depth + 1, "args": {"name": f"depth {depth}"}}
+            )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"tick_us": tick_us, "traces": len(by_trace)},
+    }
+
+
+def write_span_trace(
+    path: str | Path, spans: list[dict], *, tick_us: float = 1000.0
+) -> Path:
+    """Serialize :func:`spans_to_chrome_trace` to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(spans_to_chrome_trace(spans, tick_us=tick_us)))
+    return path
+
+
 def cluster_memory_timelines(cluster: VirtualCluster) -> dict[str, list[MemorySample]]:
     """Counter-track inputs for every pool of a cluster (HBM per rank +
     host); empty lists are dropped."""

@@ -70,6 +70,13 @@ class Trace:
         # rank closure runs, its events land on a thread-local buffer
         # (placeholder ids) and are merged in rank order at the join.
         self._tls = threading.local()
+        # Side-channel observability hook (repro.obs): called with each
+        # event as it is recorded, read-only — the event stream itself
+        # is never altered, so tracing stays bitwise-invisible.
+        self.observer = None
+        # The attached SpanTracer, if any; the rank executor mirrors its
+        # trace buffering onto the tracer's span buffers at fork-joins.
+        self.tracer = None
 
     @contextmanager
     def buffered(self):
@@ -115,11 +122,15 @@ class Trace:
             # id; merge() assigns the real one in rank order.
             event = TraceEvent(-1, kind, label, rank, stream, nbytes, flops, seconds)
             buffer.append(event)
+            if self.observer is not None:
+                self.observer(event)
             return event
         event = TraceEvent(
             next(self._ids), kind, label, rank, stream, nbytes, flops, seconds
         )
         self.events.append(event)
+        if self.observer is not None:
+            self.observer(event)
         return event
 
     def mark_phase(self, name: str) -> TraceEvent:

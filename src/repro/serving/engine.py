@@ -32,6 +32,7 @@ the serve-smoke CI gate replays a request mix and asserts exactly that.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -77,8 +78,14 @@ class DecodeState:
     # KV cache held inline when the engine is not offloading.
     kv: KVCache | None = None
     admitted_tick: int | None = None
+    prefill_done_tick: int | None = None
     first_token_tick: int | None = None
     done_tick: int | None = None
+    # Causal-tracing context (repro.obs): the request's root span and
+    # its open lifecycle-phase spans ("prefill", "decode").  None / empty
+    # when no tracer is attached — the engine never requires one.
+    span: object | None = None
+    phase_spans: dict = field(default_factory=dict)
 
     @property
     def rid(self) -> str:
@@ -102,10 +109,14 @@ class ServingEngine:
         config: EngineConfig | None = None,
         cluster: VirtualCluster | None = None,
         registry=None,
+        tracer=None,
     ):
         self.model = model
         self.config = config or EngineConfig()
         self.cluster = cluster or VirtualCluster(1)
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.attach(self.cluster.trace)
         self.store = RequestKVStore(
             self.cluster, len(model.blocks), dtype=self.config.kv_dtype
         )
@@ -121,13 +132,43 @@ class ServingEngine:
 
     # -- request lifecycle --------------------------------------------------
 
-    def start(self, request: Request) -> DecodeState:
-        """Admit ``request``: build its decode state (no compute yet)."""
-        return DecodeState(
+    def start(self, request: Request, *, span=None) -> DecodeState:
+        """Admit ``request``: build its decode state (no compute yet).
+
+        ``span`` is the request's root span when a scheduler already
+        opened one (at submit time, so queue wait is on the tree); with
+        a tracer attached and no span given, the engine roots one here.
+        """
+        state = DecodeState(
             request=request,
             state=RequestState.PREFILL,
             rng=np.random.default_rng(request.seed),
         )
+        if span is not None:
+            state.span = span
+        elif self.tracer is not None:
+            state.span = self.tracer.start_span(
+                "request",
+                trace_id=request.trace_id,
+                kind="request",
+                attrs={
+                    "rid": request.rid,
+                    "tenant": request.tenant,
+                    "prompt_len": int(request.prompt.shape[0]),
+                    "max_new_tokens": request.max_new_tokens,
+                    "arrival_tick": request.arrival_tick,
+                },
+            )
+        return state
+
+    def _work_span(self, state: DecodeState, phase: str, name: str, attrs: dict):
+        """Span context for one unit of engine work, parented under the
+        request's open phase span (or its root); a no-op without a
+        tracer so the untraced hot path stays untouched."""
+        if self.tracer is None or state.span is None:
+            return nullcontext()
+        parent = state.phase_spans.get(phase, state.span)
+        return self.tracer.span(name, parent=parent, kind=phase, attrs=attrs)
 
     def prefill_step(self, state: DecodeState) -> bool:
         """Encode the next prompt chunk; returns ``True`` when the whole
@@ -138,9 +179,12 @@ class ServingEngine:
         chunk = self.config.prefill_chunk or prompt.shape[1]
         lo = state.prefill_pos
         hi = min(lo + chunk, prompt.shape[1])
-        kv = self._checkout(state)
-        logits = forward_cached(self.model, prompt[:, lo:hi], kv)
-        self._checkin(state, kv)
+        with self._work_span(
+            state, "prefill", f"prefill-chunk[{lo}:{hi}]", {"lo": lo, "hi": hi}
+        ):
+            kv = self._checkout(state)
+            logits = forward_cached(self.model, prompt[:, lo:hi], kv)
+            self._checkin(state, kv)
         state.prefill_pos = hi
         if self._prefill_tokens is not None:
             self._prefill_tokens.inc(hi - lo)
@@ -156,19 +200,23 @@ class ServingEngine:
         if state.state is not RequestState.DECODE:
             raise RuntimeError(f"request {state.rid!r} is not decoding")
         request = state.request
-        nxt = sample_token(state.logits[0], request.temperature, state.rng)
-        state.new_tokens.append(nxt)
-        if len(state.new_tokens) < request.max_new_tokens:
-            kv = self._checkout(state)
-            state.logits = forward_cached(
-                self.model, np.array([[nxt]], dtype=np.int64), kv
-            )
-            self._checkin(state, kv)
-        else:
-            # Mirror the fixed generate() loop: no forward after the
-            # final token, so the cache never grows past the output.
-            state.logits = None
-            state.state = RequestState.DONE
+        index = len(state.new_tokens)
+        with self._work_span(
+            state, "decode", f"decode-step[{index}]", {"index": index}
+        ):
+            nxt = sample_token(state.logits[0], request.temperature, state.rng)
+            state.new_tokens.append(nxt)
+            if len(state.new_tokens) < request.max_new_tokens:
+                kv = self._checkout(state)
+                state.logits = forward_cached(
+                    self.model, np.array([[nxt]], dtype=np.int64), kv
+                )
+                self._checkin(state, kv)
+            else:
+                # Mirror the fixed generate() loop: no forward after the
+                # final token, so the cache never grows past the output.
+                state.logits = None
+                state.state = RequestState.DONE
         return nxt
 
     def decode_batch(self, states: list[DecodeState]) -> list[int]:
@@ -194,6 +242,15 @@ class ServingEngine:
         if self.config.offload and state.rid in self.store:
             self.store.evict(state.rid)
         state.kv = None
+        if self.tracer is not None and state.span is not None:
+            # Close any phase span and the root if a scheduler has not
+            # already done so (direct-engine use).
+            for phase in list(state.phase_spans):
+                span = state.phase_spans.pop(phase)
+                if span.end is None:
+                    self.tracer.end_span(span)
+            if state.span.end is None:
+                self.tracer.end_span(state.span)
 
     # -- KV residency -------------------------------------------------------
 

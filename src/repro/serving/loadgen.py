@@ -20,10 +20,12 @@ goodput read back out of the telemetry registry.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.common.errors import InjectedCrash, PermanentFaultError
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.models.generate import generate
@@ -138,6 +140,11 @@ class ServeReport:
     fault_stats: dict | None = None
     schedule_digest: str = ""
     metrics: dict = field(default_factory=dict)
+    # Observability roll-up (repro.obs); zeros/empty without a tracer.
+    spans_emitted: int = 0
+    orphan_spans: int = 0
+    slo_violations: int = 0
+    slo: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -162,6 +169,22 @@ class ServeReport:
                 f"chaos           {self.fault_stats['total_faults']} faults, "
                 f"{self.fault_stats['retries']} retries"
             )
+        if self.spans_emitted:
+            lines.append(
+                f"spans           {self.spans_emitted} emitted, "
+                f"{self.orphan_spans} orphans"
+            )
+        for name in sorted(self.slo):
+            entry = self.slo[name]
+            if entry.get("skipped"):
+                lines.append(f"slo             {name}: no observations")
+                continue
+            status = "VIOLATED" if entry["violated"] else "ok"
+            lines.append(
+                f"slo             {name}: {entry['value']:g} vs "
+                f"<= {entry['threshold']:g} [{status}] "
+                f"burn {entry['burn_rate']:.2f}"
+            )
         lines.append(f"schedule digest {self.schedule_digest}")
         return "\n".join(lines)
 
@@ -177,6 +200,27 @@ def _schedule_digest(log: list[tuple[int, str, str]]) -> str:
     return h.hexdigest()[:16]
 
 
+def _percentile(stats: dict, key: str) -> float:
+    """Percentile off a histogram summary that can never poison a
+    report: missing keys and NaN (a zero-completion replay, a foreign
+    snapshot) read as 0.0."""
+    value = stats.get(key)
+    if value is None:
+        return 0.0
+    value = float(value)
+    return 0.0 if math.isnan(value) else value
+
+
+def _count_orphans(spans) -> int:
+    """Spans whose parent is absent from their trace — must be zero."""
+    present = {(s.trace_id, s.span_id) for s in spans}
+    return sum(
+        1
+        for s in spans
+        if s.parent_id is not None and (s.trace_id, s.parent_id) not in present
+    )
+
+
 def run_load(
     model: GPTModel,
     requests: list[Request],
@@ -187,6 +231,9 @@ def run_load(
     registry: MetricsRegistry | None = None,
     verify: int | str = "all",
     max_ticks: int = 1_000_000,
+    tracer=None,
+    slo=None,
+    recorder=None,
 ) -> ServeReport:
     """Replay ``requests`` through engine + scheduler and report.
 
@@ -195,6 +242,13 @@ def run_load(
     (a deterministic sample of N completed requests).  The trace is
     aggregated and cleared every tick so replays of any size run in
     bounded memory.
+
+    Observability (all optional, all bitwise-invisible to the replay):
+    ``tracer`` is a :class:`repro.obs.SpanTracer` recording per-request
+    causal span trees; ``slo`` an :class:`repro.telemetry.monitors
+    .SLOMonitor` evaluated once at drain; ``recorder`` a
+    :class:`repro.obs.FlightRecorder` — when armed, a crash or an SLO
+    alert leaves an atomic postmortem dump.
     """
     registry = registry or MetricsRegistry()
     cluster = VirtualCluster(1)
@@ -202,31 +256,39 @@ def run_load(
     if fault_plan is not None:
         injector = FaultInjector(fault_plan).attach(cluster)
     engine = ServingEngine(
-        model, config=engine_config, cluster=cluster, registry=registry
+        model, config=engine_config, cluster=cluster, registry=registry,
+        tracer=tracer,
     )
     scheduler = Scheduler(engine, config=scheduler_config, registry=registry)
 
     pending = sorted(requests, key=lambda r: (r.arrival_tick, r.rid))
     next_up = 0
     h2d = d2h = 0
-    while next_up < len(pending) or scheduler.outstanding:
-        if scheduler.tick_index >= max_ticks:
-            raise RuntimeError(f"load replay exceeded {max_ticks} ticks")
-        while (
-            next_up < len(pending)
-            and pending[next_up].arrival_tick <= scheduler.tick_index
-        ):
-            scheduler.submit(pending[next_up])
-            next_up += 1
-        scheduler.tick()
-        # Fold this tick's transfer traffic into counters and drop the
-        # events: a 10k-request replay must not hoard the trace.
-        for event in cluster.trace.events:
-            if event.kind == "h2d":
-                h2d += event.nbytes
-            elif event.kind == "d2h":
-                d2h += event.nbytes
-        cluster.trace.clear()
+    try:
+        while next_up < len(pending) or scheduler.outstanding:
+            if scheduler.tick_index >= max_ticks:
+                raise RuntimeError(f"load replay exceeded {max_ticks} ticks")
+            while (
+                next_up < len(pending)
+                and pending[next_up].arrival_tick <= scheduler.tick_index
+            ):
+                scheduler.submit(pending[next_up])
+                next_up += 1
+            scheduler.tick()
+            # Fold this tick's transfer traffic into counters and drop the
+            # events: a 10k-request replay must not hoard the trace.
+            for event in cluster.trace.events:
+                if event.kind == "h2d":
+                    h2d += event.nbytes
+                elif event.kind == "d2h":
+                    d2h += event.nbytes
+            cluster.trace.clear()
+    except (InjectedCrash, PermanentFaultError) as exc:
+        # Tracer error listeners dump from inside the failing span; this
+        # fallback covers crashes raised outside any span context.
+        if recorder is not None and recorder.armed and recorder.dumped is None:
+            recorder.dump(reason="serving replay crash", exc=exc)
+        raise
 
     completed = list(scheduler.completed.values())
     to_check = []
@@ -249,6 +311,30 @@ def run_load(
         if not np.array_equal(state.output(), reference):
             mismatched += 1
 
+    # SLO judgment happens at drain, over the whole replay's histograms;
+    # an alert (with an armed recorder) leaves a postmortem dump even
+    # though nothing crashed.
+    slo_result: dict = {}
+    slo_violations = 0
+    if slo is not None:
+        alerts = slo.evaluate(step=scheduler.tick_index)
+        slo_result = dict(slo.last)
+        slo_violations = slo.violations
+        if alerts and recorder is not None and recorder.armed \
+                and recorder.dumped is None:
+            recorder.dump(reason="slo alert: " + alerts[0].message)
+    spans_emitted = 0
+    orphans = 0
+    if tracer is not None:
+        spans_emitted = tracer.emitted
+        orphans = _count_orphans(tracer.spans)
+        registry.gauge(
+            "spans_emitted_total", "completed causal spans"
+        ).set(spans_emitted)
+    registry.gauge(
+        "slo_violations_total", "SLO objectives found violated"
+    ).set(slo_violations)
+
     ttft = registry.histogram("serving_ttft_ticks").sample()
     latency = registry.histogram("serving_latency_ticks").sample()
     decode_tokens = int(registry.counter("serving_decode_tokens").value)
@@ -259,10 +345,10 @@ def run_load(
         completed=len(completed),
         dropped=len(scheduler.rejected),
         ticks=ticks,
-        latency_p50=latency["p50"],
-        latency_p99=latency["p99"],
-        ttft_p50=ttft["p50"],
-        ttft_p99=ttft["p99"],
+        latency_p50=_percentile(latency, "p50"),
+        latency_p99=_percentile(latency, "p99"),
+        ttft_p50=_percentile(ttft, "p50"),
+        ttft_p99=_percentile(ttft, "p99"),
         goodput=decode_tokens / ticks if ticks else 0.0,
         prefill_tokens=prefill_tokens,
         decode_tokens=decode_tokens,
@@ -273,4 +359,8 @@ def run_load(
         fault_stats=injector.stats() if injector is not None else None,
         schedule_digest=_schedule_digest(scheduler.log),
         metrics=registry.snapshot(),
+        spans_emitted=spans_emitted,
+        orphan_spans=orphans,
+        slo_violations=slo_violations,
+        slo=slo_result,
     )

@@ -82,3 +82,12 @@ class Request:
     @property
     def prompt_len(self) -> int:
         return int(self.prompt.shape[0])
+
+    @property
+    def trace_id(self) -> str:
+        """Causal-trace id for this request's span tree (repro.obs).
+
+        The rid already is unique per replay, so the request id *is*
+        the trace id — every span of the request's lifecycle shares it.
+        """
+        return self.rid

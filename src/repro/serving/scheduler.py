@@ -78,9 +78,17 @@ class Scheduler:
         *,
         config: SchedulerConfig | None = None,
         registry=None,
+        tracer=None,
     ):
         self.engine = engine
         self.config = config or SchedulerConfig()
+        # Causal tracing (repro.obs): the scheduler owns request root
+        # spans (opened at submit so queue wait is on the tree) and the
+        # lifecycle phase spans; the engine nests per-chunk/per-token
+        # work spans under them.
+        self._tracer = tracer if tracer is not None else engine.tracer
+        # Root + queued spans of requests not yet admitted, by rid.
+        self._pending_spans: dict[str, tuple] = {}
         self.tick_index = 0
         self._seq = 0
         # Queued (request, seq) pairs; live states by rid; done states.
@@ -132,11 +140,44 @@ class Scheduler:
             self.rejected.append(request.rid)
             self.log.append((self.tick_index, "reject", request.rid))
             self._count("rejected")
+            if self._tracer is not None:
+                # A rejected request still gets a (degenerate) span tree
+                # so postmortems see every offered request.
+                root = self._root_span(request)
+                root.attrs["rejected"] = True
+                self._tracer.end_span(root, end=self.tick_index)
             return False
         self._queue.append((request, self._seq))
         self._seq += 1
         self.log.append((self.tick_index, "submit", request.rid))
+        if self._tracer is not None:
+            root = self._root_span(request)
+            queued = self._tracer.start_span(
+                "queued",
+                parent=root,
+                kind="phase",
+                start=request.arrival_tick,
+            )
+            self._pending_spans[request.rid] = (root, queued)
         return True
+
+    def _root_span(self, request: Request):
+        """Open a request's root span, stamped at its arrival tick so
+        phase durations telescope exactly into TTFT/latency."""
+        return self._tracer.start_span(
+            "request",
+            trace_id=request.trace_id,
+            kind="request",
+            start=request.arrival_tick,
+            attrs={
+                "rid": request.rid,
+                "tenant": request.tenant,
+                "priority": request.priority,
+                "prompt_len": request.prompt_len,
+                "max_new_tokens": request.max_new_tokens,
+                "arrival_tick": request.arrival_tick,
+            },
+        )
 
     @property
     def outstanding(self) -> int:
@@ -148,13 +189,31 @@ class Scheduler:
     def tick(self) -> None:
         """Advance the population by one scheduling round."""
         self.tick_index += 1
+        if self._tracer is not None:
+            # Drive the tracer's logical clock and wrap the round in an
+            # ambient tick span: work not inside a request span (KV
+            # eviction, tick bookkeeping) attributes here, and the
+            # scheduler timeline gets its own trace.
+            self._tracer.tick = self.tick_index
+            with self._tracer.span(
+                f"tick[{self.tick_index}]",
+                trace_id="scheduler",
+                kind="tick",
+                ambient=True,
+                attrs={"tick": self.tick_index},
+            ):
+                self._run_phases()
+        else:
+            self._run_phases()
+        if self._metrics is not None:
+            self._metrics["queue_depth"].set(len(self._queue))
+            self._metrics["live"].set(len(self._live))
+
+    def _run_phases(self) -> None:
         self._admit()
         self._prefill()
         self._decode()
         self._complete()
-        if self._metrics is not None:
-            self._metrics["queue_depth"].set(len(self._queue))
-            self._metrics["live"].set(len(self._live))
 
     def run_until_idle(self, *, max_ticks: int = 1_000_000) -> int:
         """Tick until nothing is queued or live; returns ticks spent."""
@@ -189,8 +248,20 @@ class Scheduler:
             if quota is not None and self._tenant_live.get(request.tenant, 0) >= quota:
                 continue  # quota-blocked; later (or other-tenant) entries may fit
             self._queue.remove((request, seq))
-            state = self.engine.start(request)
+            root_span = None
+            if self._tracer is not None:
+                root_span, queued_span = self._pending_spans.pop(request.rid)
+                self._tracer.end_span(queued_span, end=self.tick_index)
+                root_span.attrs["admitted_tick"] = self.tick_index
+            state = self.engine.start(request, span=root_span)
             state.admitted_tick = self.tick_index
+            if self._tracer is not None:
+                state.phase_spans["prefill"] = self._tracer.start_span(
+                    "prefill",
+                    parent=root_span,
+                    kind="phase",
+                    start=self.tick_index,
+                )
             self._live[request.rid] = (state, seq)
             self._tenant_live[request.tenant] = (
                 self._tenant_live.get(request.tenant, 0) + 1
@@ -224,9 +295,24 @@ class Scheduler:
             for state in pending:
                 if budget == 0:
                     return
-                self.engine.prefill_step(state)
+                done = self.engine.prefill_step(state)
                 budget -= 1
                 self.log.append((self.tick_index, "prefill", state.rid))
+                if done:
+                    state.prefill_done_tick = self.tick_index
+                    if self._tracer is not None and state.span is not None:
+                        prefill_span = state.phase_spans.pop("prefill", None)
+                        if prefill_span is not None:
+                            self._tracer.end_span(
+                                prefill_span, end=self.tick_index
+                            )
+                        state.span.attrs["prefill_done_tick"] = self.tick_index
+                        state.phase_spans["decode"] = self._tracer.start_span(
+                            "decode",
+                            parent=state.span,
+                            kind="phase",
+                            start=self.tick_index,
+                        )
 
     def _decode(self) -> None:
         decoding = [
@@ -244,6 +330,8 @@ class Scheduler:
             if state.first_token_tick is None:
                 state.first_token_tick = self.tick_index
                 self.log.append((self.tick_index, "first_token", state.rid))
+                if self._tracer is not None and state.span is not None:
+                    state.span.attrs["first_token_tick"] = self.tick_index
                 if self._metrics is not None:
                     self._metrics["ttft"].observe(
                         self.tick_index - state.request.arrival_tick
@@ -257,6 +345,13 @@ class Scheduler:
         ]
         for state in finished:
             state.done_tick = self.tick_index
+            if self._tracer is not None and state.span is not None:
+                decode_span = state.phase_spans.pop("decode", None)
+                if decode_span is not None:
+                    self._tracer.end_span(decode_span, end=self.tick_index)
+                state.span.attrs["done_tick"] = self.tick_index
+                state.span.attrs["new_tokens"] = len(state.new_tokens)
+                self._tracer.end_span(state.span, end=self.tick_index)
             self.engine.finish(state)
             del self._live[state.rid]
             tenant = state.request.tenant

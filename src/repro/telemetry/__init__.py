@@ -39,6 +39,8 @@ from repro.telemetry.monitors import (
     HealthAlert,
     HealthMonitor,
     MemoryWatermarkMonitor,
+    SLObjective,
+    SLOMonitor,
     StragglerMonitor,
     checksum_params,
 )
@@ -86,6 +88,8 @@ __all__ = [
     "DesyncMonitor",
     "StragglerMonitor",
     "FaultRateMonitor",
+    "SLObjective",
+    "SLOMonitor",
     "checksum_params",
     "MetricDiff",
     "DEFAULT_TOLERANCES",

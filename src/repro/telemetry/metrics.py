@@ -124,6 +124,12 @@ class Histogram:
         rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
         return ordered[rank]
 
+    def quantiles(self, qs: tuple = (0.5, 0.99)) -> dict[str, float]:
+        """``{"p50": ..., "p99": ...}`` for the requested quantiles —
+        exact nearest-rank, 0.0 (never NaN) when empty, so report code
+        can read percentiles off any histogram unconditionally."""
+        return {f"p{round(q * 100)}": self.quantile(q) for q in qs}
+
     def sample(self) -> dict[str, float]:
         """Summary dict: count/sum/min/max/mean/p50/p99."""
         if not self.values:

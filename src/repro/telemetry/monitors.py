@@ -241,6 +241,167 @@ class FaultRateMonitor(HealthMonitor):
         return []
 
 
+@dataclass(frozen=True)
+class SLObjective:
+    """One service-level objective over a registry histogram.
+
+    ``metric`` names the histogram, ``quantile`` the percentile it is
+    judged at, ``threshold`` the worst acceptable value, and ``target``
+    the availability goal that sizes the error budget: with
+    ``target=0.99``, 1% of observations may exceed the threshold before
+    the budget is spent.  The burn rate is ``bad_fraction / (1 -
+    target)`` — 1.0 means exactly on budget, above 1.0 the budget
+    depletes before the window ends (the standard multiwindow burn-rate
+    alert framing, collapsed to our single replay window).
+    """
+
+    name: str
+    metric: str
+    quantile: float
+    threshold: float
+    target: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+
+    #: Operator shorthand → registry histogram names.
+    METRIC_ALIASES = {
+        "ttft": "serving_ttft_ticks",
+        "latency": "serving_latency_ticks",
+        "queue_wait": "serving_queue_wait_ticks",
+    }
+
+    @classmethod
+    def parse(cls, spec: str, *, target: float = 0.99) -> "SLObjective":
+        """Parse an operator spec like ``"ttft_p99<=40"`` or
+        ``"serving_latency_ticks_p50<=12.5"``.
+
+        The metric part accepts the shorthand aliases (``ttft``,
+        ``latency``, ``queue_wait``) or any raw histogram name; the
+        ``_pNN`` suffix picks the quantile.
+        """
+        text = spec.replace(" ", "")
+        if "<=" not in text:
+            raise ValueError(f"SLO spec {spec!r} must look like 'ttft_p99<=40'")
+        lhs, rhs = text.split("<=", 1)
+        try:
+            threshold = float(rhs)
+        except ValueError:
+            raise ValueError(f"SLO spec {spec!r}: bad threshold {rhs!r}") from None
+        if "_p" not in lhs:
+            raise ValueError(f"SLO spec {spec!r}: metric needs a _pNN suffix")
+        metric, _, qtext = lhs.rpartition("_p")
+        try:
+            quantile = float(qtext) / 100.0
+        except ValueError:
+            raise ValueError(f"SLO spec {spec!r}: bad quantile p{qtext!r}") from None
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"SLO spec {spec!r}: quantile out of range")
+        return cls(
+            name=lhs,
+            metric=cls.METRIC_ALIASES.get(metric, metric),
+            quantile=quantile,
+            threshold=threshold,
+            target=target,
+        )
+
+
+class SLOMonitor(HealthMonitor):
+    """Evaluate SLOs against the live :class:`MetricsRegistry`.
+
+    Reads the named histograms (TTFT/latency in scheduler ticks, fed by
+    the serving scheduler) and alerts on either signal:
+
+    * the objective's quantile exceeds its threshold (the SLI is out of
+      bounds *now*), or
+    * the error-budget burn rate exceeds ``burn_alert`` (enough
+      individual observations are over threshold that the budget
+      depletes too fast, even if the quantile still looks fine).
+
+    Histograms with no observations are skipped — an idle service is
+    not a violating one.  Results of the last evaluation stay readable
+    in :attr:`last` for reports.
+    """
+
+    name = "slo"
+
+    def __init__(
+        self,
+        objectives,
+        *,
+        registry,
+        burn_alert: float = 1.0,
+        eval_every: int | None = None,
+    ):
+        super().__init__()
+        self.objectives = [
+            SLObjective.parse(o) if isinstance(o, str) else o
+            for o in objectives
+        ]
+        self.registry = registry
+        self.burn_alert = burn_alert
+        self.eval_every = eval_every
+        #: Objectives found violated across all evaluations (counts each
+        #: evaluation's violations — the ``slo_violations_total`` feed).
+        self.violations = 0
+        #: Last evaluation: name → {value, threshold, violated, ...}.
+        self.last: dict[str, dict] = {}
+
+    def evaluate(self, step: int = -1) -> list[HealthAlert]:
+        """Judge every objective once; returns the alerts raised."""
+        raised = []
+        self.last = {}
+        for obj in self.objectives:
+            hist = self.registry.histogram(obj.metric)
+            if not hist.values:
+                self.last[obj.name] = {
+                    "metric": obj.metric, "skipped": True, "count": 0,
+                    "value": None, "threshold": obj.threshold,
+                    "violated": False, "burn_rate": 0.0,
+                }
+                continue
+            value = hist.quantile(obj.quantile)
+            bad = sum(1 for v in hist.values if v > obj.threshold)
+            bad_fraction = bad / len(hist.values)
+            burn_rate = bad_fraction / (1.0 - obj.target)
+            violated = value > obj.threshold
+            burning = burn_rate > self.burn_alert
+            self.last[obj.name] = {
+                "metric": obj.metric, "skipped": False,
+                "count": len(hist.values), "value": value,
+                "threshold": obj.threshold, "violated": violated,
+                "bad_fraction": bad_fraction, "burn_rate": burn_rate,
+                "burning": burning,
+            }
+            if violated or burning:
+                self.violations += 1
+                why = (
+                    f"{obj.name} = {value:g} > {obj.threshold:g}"
+                    if violated
+                    else f"{obj.name} burn rate {burn_rate:.2f} > "
+                         f"{self.burn_alert:.2f}"
+                )
+                raised.append(self._alert(
+                    step,
+                    f"SLO violated: {why} "
+                    f"({bad} of {len(hist.values)} observations over threshold)",
+                    objective=obj.name, metric=obj.metric,
+                    value=value, threshold=obj.threshold,
+                    burn_rate=burn_rate, bad_fraction=bad_fraction,
+                ))
+        return raised
+
+    def observe_step(self, record) -> list[HealthAlert]:
+        """Optional periodic evaluation on the step-record stream
+        (serving replays usually call :meth:`evaluate` at drain)."""
+        if self.eval_every is None or record.step % self.eval_every:
+            return []
+        return self.evaluate(step=record.step)
+
+
 def checksum_params(params: dict[str, np.ndarray]) -> float:
     """Order-stable scalar digest of a parameter dict.
 

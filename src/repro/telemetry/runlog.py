@@ -77,6 +77,13 @@ class StepRecord:
     fault_count: int = 0
     retry_count: int = 0
     retry_backoff_s: float = 0.0
+    # Observability counters (repro.obs): completed causal spans,
+    # SLO-objective violations, and the flight-recorder ring's fullest
+    # moment.  Cumulative snapshots like the arena counters, and
+    # report-only in the metrics gate.
+    spans_emitted_total: int = 0
+    slo_violations_total: int = 0
+    flight_recorder_high_watermark: int = 0
     param_checksums: dict[int, float] = field(default_factory=dict)
 
     def to_record(self) -> dict:
@@ -126,6 +133,11 @@ class RunLogger:
     def log_step(self, record: StepRecord) -> None:
         """Ingest one step: update the registry, run the monitors, and
         forward the step (plus any alerts it raised) to the sinks."""
+        for monitor in self.monitors:
+            # The SLO monitor's running violation count rides on every
+            # step record so the run log always carries the latest.
+            if getattr(monitor, "name", "") == "slo":
+                record.slo_violations_total = monitor.violations
         self.steps.append(record)
         self._update_registry(record)
         self._emit(record.to_record())
@@ -206,6 +218,13 @@ class RunLogger:
             .set(rec.executor_fork_joins)
         reg.gauge("executor_busy_fraction",
                   "rank-executor busy/(wall*workers)").set(rec.executor_busy_fraction)
+        reg.gauge("spans_emitted_total",
+                  "completed causal spans").set(rec.spans_emitted_total)
+        reg.gauge("slo_violations_total",
+                  "SLO objectives found violated").set(rec.slo_violations_total)
+        reg.gauge("flight_recorder_high_watermark",
+                  "fullest the flight-recorder span ring has been") \
+            .set(rec.flight_recorder_high_watermark)
         if rec.fault_count:
             reg.counter("faults_injected_total",
                         "injected faults survived").inc(rec.fault_count)
@@ -258,6 +277,11 @@ class RunLogger:
             summary["executor_workers"] = last.executor_workers
             summary["executor_fork_joins"] = last.executor_fork_joins
             summary["executor_busy_fraction"] = last.executor_busy_fraction
+            summary["spans_emitted_total"] = last.spans_emitted_total
+            summary["slo_violations_total"] = last.slo_violations_total
+            summary["flight_recorder_high_watermark"] = (
+                last.flight_recorder_high_watermark
+            )
         if profile is not None:
             summary["sim_makespan_s"] = profile.makespan
             summary["sim_mfu"] = profile.rollup().mfu

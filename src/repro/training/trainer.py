@@ -97,12 +97,22 @@ class Trainer:
         telemetry: RunLogger | None = None,
         start_step: int = 0,
         tokens_seen: int = 0,
+        tracer=None,
+        flight_recorder=None,
     ):
         self.model = model
         self.corpus = corpus
         self.runner = runner
         self.grad_clip = grad_clip
         self.telemetry = telemetry
+        # Causal tracing (repro.obs): each step runs inside an ambient
+        # "train_step" span, so trace events — collectives, offload
+        # transfers, fault retries — attribute to the step that issued
+        # them, and a crash dumps with the step span still in flight.
+        self.tracer = tracer
+        self.flight_recorder = flight_recorder
+        if tracer is not None and runner is not None:
+            tracer.attach(runner.cluster.trace)
         self.lr_schedule = lr_schedule  # callable step -> lr, or None
         # batch_fn(batch_size, seq_len) -> (tokens, labels); defaults to
         # Markov next-token batches, but any data pipeline plugs in
@@ -122,6 +132,30 @@ class Trainer:
 
     def step(self, batch_size: int, seq_len: int) -> float:
         """One optimization step; returns the step's loss."""
+        if self.tracer is None:
+            return self._step(batch_size, seq_len)
+        step_no = self.global_step
+        self.tracer.tick = step_no
+        # The injector's crash check runs *inside* the span, so a crash
+        # dump captures the dying step as an in-flight span.
+        with self.tracer.span(
+            "train_step",
+            trace_id=f"step-{step_no}",
+            kind="train_step",
+            ambient=True,
+            attrs={
+                "step": step_no,
+                "batch_size": batch_size,
+                "seq_len": seq_len,
+            },
+        ):
+            loss = self._step(batch_size, seq_len)
+            # Advance the logical clock so the step span closes with
+            # unit duration (start=step, end=step+1).
+            self.tracer.tick = step_no + 1
+        return loss
+
+    def _step(self, batch_size: int, seq_len: int) -> float:
         if self.runner is not None:
             injector = getattr(self.runner.cluster, "fault_injector", None)
             if injector is not None:
@@ -208,6 +242,13 @@ class Trainer:
         # construction here; a real deployment feeds per-rank values.
         checksum = checksum_params(self.model.all_params())
         record.param_checksums = {rank: checksum for rank in range(world)}
+        if self.tracer is not None:
+            record.spans_emitted_total = self.tracer.emitted
+        if self.flight_recorder is not None:
+            record.flight_recorder_high_watermark = (
+                self.flight_recorder.high_watermark
+            )
+            self.flight_recorder.observe_step(record)
         self.telemetry.log_step(record)
 
     def save(self, path) -> Path:

@@ -74,6 +74,40 @@ class TestParser:
         assert (args.quick, args.steps, args.crash_at) == (True, 4, 2)
         assert args.collective_rate == 0.2
         assert args.run_log == "chaos.jsonl"
+        assert args.flight_recorder is None
+
+    def test_serve_obs_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "bench", "--requests", "50", "--verify", "none",
+             "--slo", "ttft_p99<=40", "--slo", "latency_p99<=80",
+             "--spans", "spans.json", "--report-json", "report.json",
+             "--flight-recorder", "flight.json"]
+        )
+        assert args.slo == ["ttft_p99<=40", "latency_p99<=80"]
+        assert args.spans == "spans.json"
+        assert args.report_json == "report.json"
+        assert args.flight_recorder == "flight.json"
+
+    def test_obs_parsers(self):
+        args = build_parser().parse_args(["obs", "spans", "s.json",
+                                          "--trace", "req-000001",
+                                          "--limit", "3"])
+        assert (args.path, args.trace, args.limit) == ("s.json",
+                                                       "req-000001", 3)
+        args = build_parser().parse_args(
+            ["obs", "slo", "r.json", "--objective", "ttft_p99<=40"]
+        )
+        assert args.objective == ["ttft_p99<=40"]
+        args = build_parser().parse_args(["obs", "postmortem", "d.json"])
+        assert args.path == "d.json"
+        args = build_parser().parse_args(
+            ["obs", "export", "s.json", "--out", "t.json"]
+        )
+        assert (args.path, args.out) == ("s.json", "t.json")
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])  # sub-subcommand required
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "slo", "r.json"])  # needs --objective
 
 
 class TestCommands:
@@ -121,6 +155,76 @@ class TestCommands:
     def test_chaos_bad_crash_step(self, capsys):
         assert main(["chaos", "--quick", "--crash-at", "99"]) == 2
         assert "--crash-at" in capsys.readouterr().err
+
+    def test_serve_bench_obs_pipeline(self, capsys, tmp_path):
+        """serve bench with spans + SLOs + report, then every obs
+        subcommand over the artifacts."""
+        import json
+
+        spans = tmp_path / "spans.json"
+        report = tmp_path / "report.json"
+        assert main([
+            "serve", "bench", "--requests", "12", "--verify", "none",
+            "--max-prompt", "24", "--max-new-tokens", "4",
+            "--slo", "ttft_p99<=500", "--slo", "latency_p99<=500",
+            "--spans", str(spans), "--report-json", str(report),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out and "0 orphans" in out
+        assert "slo" in out and "VIOLATED" not in out
+
+        assert main(["obs", "spans", str(spans), "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "request" in out and "0 orphans" in out
+
+        assert main(["obs", "slo", str(report),
+                     "--objective", "ttft_p99<=500"]) == 0
+        assert "[ok]" in capsys.readouterr().out
+        assert main(["obs", "slo", str(report),
+                     "--objective", "latency_p99<=0.001"]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+        trace = tmp_path / "trace.json"
+        assert main(["obs", "export", str(spans), "--out", str(trace)]) == 0
+        capsys.readouterr()
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+
+    def test_serve_bench_slo_violation_exits_nonzero(self, capsys):
+        rc = main([
+            "serve", "bench", "--requests", "12", "--verify", "none",
+            "--max-prompt", "24", "--max-new-tokens", "4",
+            "--slo", "latency_p99<=0.001",
+        ])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "VIOLATED" in captured.out
+        assert "SLO" in captured.err
+
+    def test_serve_bench_bad_slo_spec(self, capsys):
+        rc = main([
+            "serve", "bench", "--requests", "5", "--verify", "none",
+            "--slo", "not-a-spec",
+        ])
+        assert rc == 2
+        assert "SLO spec" in capsys.readouterr().err
+
+    def test_chaos_flight_recorder_postmortem(self, capsys, tmp_path):
+        dump = tmp_path / "flight.json"
+        assert main(["chaos", "--quick",
+                     "--flight-recorder", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "bitwise identical" in out
+        assert str(dump) in out
+        assert main(["obs", "postmortem", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "InjectedCrash" in out and "train_step" in out
+
+    def test_obs_postmortem_unparseable_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{torn")
+        assert main(["obs", "postmortem", str(bad)]) == 2
+        assert "unreadable" in capsys.readouterr().err
 
     def test_profile_writes_chrome_trace(self, capsys, tmp_path):
         import json

@@ -147,3 +147,74 @@ class TestRunLoad:
         assert run_load(model, requests, verify="none").verified == 0
         with pytest.raises(ValueError, match="verify"):
             run_load(model, requests, verify="bogus")
+
+
+class TestPercentiles:
+    """Report percentiles must never be NaN, and at small sample counts
+    they are the exact nearest-rank order statistics."""
+
+    def test_percentile_guard_on_empty_and_foreign_stats(self):
+        from repro.serving.loadgen import _percentile
+
+        assert _percentile({}, "p99") == 0.0
+        assert _percentile({"p99": None}, "p99") == 0.0
+        assert _percentile({"p99": float("nan")}, "p99") == 0.0
+        assert _percentile({"p99": 7.0}, "p99") == 7.0
+
+    def test_empty_histogram_summary_is_zero_not_nan(self):
+        from repro.telemetry.metrics import Histogram
+
+        h = Histogram("empty")
+        s = h.sample()
+        assert s["count"] == 0
+        assert s["p50"] == 0.0 and s["p99"] == 0.0
+        assert h.quantiles() == {"p50": 0.0, "p99": 0.0}
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 10])
+    def test_exact_nearest_rank_at_small_counts(self, n):
+        from math import ceil
+
+        from repro.telemetry.metrics import Histogram
+
+        values = [float(10 * (i + 1)) for i in range(n)]
+        h = Histogram("lat")
+        for v in values:
+            h.observe(v)
+        for q in (0.5, 0.9, 0.99):
+            rank = min(n - 1, max(0, ceil(q * n) - 1))
+            assert h.quantile(q) == values[rank], (n, q)
+        # p99 of fewer than 100 samples is the max — never interpolated.
+        assert h.quantile(0.99) == max(values)
+
+    def test_single_request_replay_has_finite_percentiles(self):
+        model = _model()
+        cfg = LoadGenConfig(num_requests=1, seed=9, max_prompt=8,
+                            max_new_tokens=2)
+        requests = synthesize_requests(
+            cfg, 32, position_budget=model.config.max_position_embeddings
+        )
+        report = run_load(model, requests, verify="all")
+        assert report.ok and report.completed == 1
+        assert report.latency_p50 == report.latency_p99 > 0
+        assert report.ttft_p50 == report.ttft_p99 >= 0
+        assert "nan" not in report.render().lower()
+
+    def test_all_rejected_replay_reports_zero_percentiles(self):
+        """Admission control rejecting everything leaves empty latency
+        histograms: the report must read 0.0, not NaN."""
+        from repro.serving import SchedulerConfig
+
+        model = _model()
+        cfg = LoadGenConfig(num_requests=6, seed=10, max_prompt=8,
+                            max_new_tokens=2, arrival_rate=100.0)
+        requests = synthesize_requests(
+            cfg, 32, position_budget=model.config.max_position_embeddings
+        )
+        report = run_load(
+            model, requests,
+            scheduler_config=SchedulerConfig(max_live=1, max_queue=0),
+            verify="none",
+        )
+        assert report.dropped > 0
+        assert report.latency_p99 == 0.0 and report.ttft_p99 == 0.0
+        assert "nan" not in report.render().lower()

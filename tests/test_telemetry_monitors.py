@@ -198,6 +198,105 @@ class TestStragglerMonitor:
         assert not monitor.fired
 
 
+class TestSLObjective:
+    def test_parse_aliases_and_raw_metric_names(self):
+        from repro.telemetry import SLObjective
+
+        obj = SLObjective.parse("ttft_p99<=40")
+        assert obj.metric == "serving_ttft_ticks"
+        assert obj.quantile == pytest.approx(0.99)
+        assert obj.threshold == 40.0
+        assert obj.name == "ttft_p99"
+        raw = SLObjective.parse("serving_queue_wait_ticks_p50 <= 12.5")
+        assert raw.metric == "serving_queue_wait_ticks"
+        assert raw.quantile == pytest.approx(0.5)
+        assert raw.threshold == 12.5
+
+    @pytest.mark.parametrize("bad", [
+        "ttft_p99", "ttft<=40", "ttft_p99<=forty", "ttft_pxx<=40",
+        "ttft_p200<=40", "ttft_p0<=40",
+    ])
+    def test_parse_rejects_malformed_specs(self, bad):
+        from repro.telemetry import SLObjective
+
+        with pytest.raises(ValueError):
+            SLObjective.parse(bad)
+
+    def test_field_validation(self):
+        from repro.telemetry import SLObjective
+
+        with pytest.raises(ValueError):
+            SLObjective(name="x", metric="m", quantile=1.5, threshold=1.0)
+        with pytest.raises(ValueError):
+            SLObjective(name="x", metric="m", quantile=0.5, threshold=1.0,
+                        target=1.0)
+
+
+class TestSLOMonitor:
+    def _registry(self, latencies):
+        from repro.telemetry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        hist = registry.histogram("serving_latency_ticks")
+        for v in latencies:
+            hist.observe(v)
+        return registry
+
+    def test_within_objective_is_silent(self):
+        from repro.telemetry import SLOMonitor
+
+        registry = self._registry([5, 6, 7, 8])
+        monitor = SLOMonitor(["latency_p99<=10"], registry=registry)
+        assert monitor.evaluate(step=3) == []
+        assert not monitor.fired and monitor.violations == 0
+        entry = monitor.last["latency_p99"]
+        assert entry["value"] == 8 and not entry["violated"]
+
+    def test_quantile_violation_fires(self):
+        from repro.telemetry import SLOMonitor
+
+        registry = self._registry([5, 6, 7, 50])
+        monitor = SLOMonitor(["latency_p99<=10"], registry=registry)
+        alerts = monitor.evaluate(step=9)
+        assert monitor.fired and monitor.violations == 1
+        assert alerts[0].step == 9
+        assert alerts[0].data["value"] == 50
+
+    def test_burn_rate_fires_even_when_quantile_ok(self):
+        """5% of observations over threshold burns a 99% budget at 5x
+        even though p50 looks healthy."""
+        from repro.telemetry import SLOMonitor
+
+        latencies = [1.0] * 95 + [100.0] * 5
+        registry = self._registry(latencies)
+        monitor = SLOMonitor(["latency_p50<=10"], registry=registry,
+                             burn_alert=1.0)
+        alerts = monitor.evaluate()
+        assert alerts and "burn rate" in alerts[0].message
+        entry = monitor.last["latency_p50"]
+        assert not entry["violated"]  # p50 = 1.0, fine
+        assert entry["burn_rate"] == pytest.approx(5.0)
+
+    def test_empty_histogram_is_skipped_not_violated(self):
+        from repro.telemetry import MetricsRegistry, SLOMonitor
+
+        monitor = SLOMonitor(["ttft_p99<=10"], registry=MetricsRegistry())
+        assert monitor.evaluate() == []
+        assert monitor.last["ttft_p99"]["skipped"]
+        assert monitor.violations == 0
+
+    def test_eval_every_drives_step_observation(self):
+        from repro.telemetry import SLOMonitor
+
+        registry = self._registry([50])
+        monitor = SLOMonitor(["latency_p50<=10"], registry=registry,
+                             eval_every=2)
+        assert monitor.observe_step(_record(0))  # step 0: evaluates
+        assert monitor.observe_step(_record(1)) == []  # step 1: skip
+        assert monitor.observe_step(_record(2))  # step 2: evaluates again
+        assert monitor.violations == 2
+
+
 class TestRunLoggerAlertPlumbing:
     def test_alerts_reach_sinks_as_records(self):
         sink = MemorySink()

@@ -50,16 +50,25 @@ def time_case(case: BenchCase, *, quick: bool) -> dict:
 
 
 def run_suite(*, quick: bool = False, echo=None) -> dict:
-    """Run every case; returns the results document (JSON-ready)."""
+    """Run every case; returns the results document (JSON-ready).
+
+    The receipt records which rank-executor backend and worker count
+    the numbers were taken under — a threads-vs-process comparison is
+    only meaningful when both receipts say what ran them.
+    """
+    from repro.runtime.executor import executor_stats
+
     results: dict[str, dict] = {}
     for case in BENCH_CASES:
         record = time_case(case, quick=quick)
         results[case.name] = record
         if echo is not None:
             echo(f"  {case.name:<26s} {record['seconds'] * 1e3:9.3f} ms")
+    ex = executor_stats()
     return {
         "schema": SCHEMA_VERSION,
         "mode": "quick" if quick else "full",
+        "executor": {"backend": ex["backend"], "workers": ex["workers"]},
         "results": results,
     }
 

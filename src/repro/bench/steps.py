@@ -1,17 +1,21 @@
 """End-to-end training-step benchmarks (the rank-executor's receipt).
 
 Unlike the kernel cases, which time one collective or attention loop,
-these time a **whole forward+backward step** of a tiny model at world 4
-— embedding through loss head through gradient assembly — under three
-strategies: the single-device reference, Ulysses, and FPDT with
-offloading.  The distributed cases are exactly the code the rank
-executor parallelizes, so on a multi-core host ``step_ulysses`` /
-``step_fpdt_offload`` shrink with ``--workers`` while ``step_reference``
-(no per-rank loop) does not; on one core all three match their serial
-baselines.  The committed baselines in ``results/`` were captured with
-the executor pinned serial, so the gate reads "no slower than the
-serial loop" everywhere and the speedup is visible in the diff on
-CI-class (multi-core) hardware.
+these time a **whole forward+backward step** of a tiny model — embedding
+through loss head through gradient assembly — under three strategies:
+the single-device reference, Ulysses, and FPDT with offloading, at
+world 4 plus wide-world (8/16) variants of the distributed pair.  The
+distributed cases are exactly the code the rank executor parallelizes,
+so on a multi-core host ``step_ulysses`` / ``step_fpdt_offload`` shrink
+with ``--workers`` while ``step_reference`` (no per-rank loop) does
+not; on one core all cases match their serial baselines.  The
+wide-world variants are the process backend's home turf: many small
+rank closures per fork-join, where thread workers serialize on the
+GIL's Python bookkeeping but forked workers scale across cores.  The
+committed baselines in ``results/`` were captured with the executor
+pinned serial, so the gate reads "no slower than the serial loop"
+everywhere and the speedup is visible in the diff on CI-class
+(multi-core) hardware.
 
 Model sizes are deliberately small: the point is fork-join overhead
 relative to per-rank compute, not BLAS throughput, and the full suite
@@ -29,13 +33,18 @@ from repro.bench.kernels import BenchCase
 STEP_WORLD = 4
 
 
-def _step_setup(quick: bool):
+def _step_setup(quick: bool, world: int = STEP_WORLD):
     from repro.models import GPTModel, tiny_llama
 
+    # Head count scales with the world size (Ulysses/FPDT shard heads
+    # across ranks), so the wide-world variants stay runnable while the
+    # per-rank work shrinks — exactly the regime where fork-join
+    # overhead shows up.
+    heads = max(4, world)
     cfg = tiny_llama(
         hidden_size=32 if quick else 64,
-        num_heads=4,
-        num_kv_heads=2,
+        num_heads=heads,
+        num_kv_heads=heads // 2,
         num_layers=2,
     )
     seq = 64 if quick else 128
@@ -56,36 +65,49 @@ def _bench_step_reference(quick: bool) -> Callable[[], None]:
     return run
 
 
-def _bench_step_ulysses(quick: bool) -> Callable[[], None]:
-    from repro.parallel import UlyssesModelRunner
-    from repro.runtime.device import VirtualCluster
+def _make_step_ulysses(world: int) -> Callable[[bool], Callable[[], None]]:
+    def setup(quick: bool) -> Callable[[], None]:
+        from repro.parallel import UlyssesModelRunner
+        from repro.runtime.device import VirtualCluster
 
-    model, tokens, labels = _step_setup(quick)
-    runner = UlyssesModelRunner(model, VirtualCluster(STEP_WORLD))
+        model, tokens, labels = _step_setup(quick, world)
+        runner = UlyssesModelRunner(model, VirtualCluster(world))
 
-    def run() -> None:
-        runner.forward_backward(tokens, labels)
+        def run() -> None:
+            runner.forward_backward(tokens, labels)
 
-    return run
+        return run
+
+    return setup
 
 
-def _bench_step_fpdt_offload(quick: bool) -> Callable[[], None]:
-    from repro.core import FPDTModelRunner
-    from repro.runtime.device import VirtualCluster
+def _make_step_fpdt_offload(world: int) -> Callable[[bool], Callable[[], None]]:
+    def setup(quick: bool) -> Callable[[], None]:
+        from repro.core import FPDTModelRunner
+        from repro.runtime.device import VirtualCluster
 
-    model, tokens, labels = _step_setup(quick)
-    runner = FPDTModelRunner(
-        model, VirtualCluster(STEP_WORLD), num_chunks=2, offload=True
-    )
+        model, tokens, labels = _step_setup(quick, world)
+        runner = FPDTModelRunner(
+            model, VirtualCluster(world), num_chunks=2, offload=True
+        )
 
-    def run() -> None:
-        runner.forward_backward(tokens, labels)
+        def run() -> None:
+            runner.forward_backward(tokens, labels)
 
-    return run
+        return run
+
+    return setup
 
 
 STEP_CASES: list[BenchCase] = [
     BenchCase("step_reference", "step", _bench_step_reference, repeats=(10, 3)),
-    BenchCase("step_ulysses", "step", _bench_step_ulysses, repeats=(10, 3)),
-    BenchCase("step_fpdt_offload", "step", _bench_step_fpdt_offload, repeats=(5, 3)),
+    BenchCase("step_ulysses", "step", _make_step_ulysses(4), repeats=(10, 3)),
+    BenchCase("step_fpdt_offload", "step", _make_step_fpdt_offload(4), repeats=(5, 3)),
+    # Wide-world variants: more, smaller rank closures per fork-join —
+    # the regime where the process backend's true multicore parallelism
+    # beats thread workers serializing on the GIL's Python bookkeeping.
+    BenchCase("step_ulysses_w8", "step", _make_step_ulysses(8), repeats=(5, 2)),
+    BenchCase("step_fpdt_offload_w8", "step", _make_step_fpdt_offload(8), repeats=(3, 2)),
+    BenchCase("step_ulysses_w16", "step", _make_step_ulysses(16), repeats=(3, 2)),
+    BenchCase("step_fpdt_offload_w16", "step", _make_step_fpdt_offload(16), repeats=(2, 1)),
 ]

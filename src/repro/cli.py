@@ -69,21 +69,32 @@ def _add_hw_args(parser: argparse.ArgumentParser) -> None:
 def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
-        help="rank-executor threads (1 = serial; default: REPRO_EXECUTOR "
+        help="rank-executor workers (1 = serial; default: REPRO_EXECUTOR "
              "or the CPU count)",
+    )
+    parser.add_argument(
+        "--executor", default=None, metavar="BACKEND",
+        choices=("serial", "threads", "process"),
+        help="rank-executor backend: serial, threads (default) or "
+             "process (fork-join worker processes over shared memory)",
     )
 
 
 def _configure_executor(args: argparse.Namespace) -> None:
-    """Install the process-wide rank executor from ``--workers`` (the
-    flag beats ``REPRO_EXECUTOR``; without it the env default stands)."""
+    """Install the process-wide rank executor from ``--workers`` /
+    ``--executor`` (the flags beat ``REPRO_EXECUTOR``; without them the
+    env default stands)."""
     workers = getattr(args, "workers", None)
-    if workers is not None:
+    backend = getattr(args, "executor", None)
+    if workers is not None or backend is not None:
         from repro.runtime.executor import RankExecutor, set_executor
 
-        if workers < 1:
+        if workers is not None and workers < 1:
             raise SystemExit("--workers must be >= 1")
-        backend = "serial" if workers == 1 else "threads"
+        if backend is None:
+            backend = "serial" if workers == 1 else "threads"
+        elif backend != "serial" and workers == 1:
+            raise SystemExit(f"--executor {backend} needs --workers >= 2")
         set_executor(RankExecutor(backend, workers=workers))
 
 

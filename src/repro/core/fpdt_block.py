@@ -114,22 +114,32 @@ def fpdt_block_forward(
     v_chunks: list[list[np.ndarray]] = [[None] * u for _ in range(world)]
     batch = x_shards[0].shape[0]
 
+    # Rank closures return their per-chunk outputs and the join assigns
+    # them into the shared lists — required by the process executor
+    # (children cannot mutate parent lists) and a no-op reassignment of
+    # the same objects under serial/threads.
     def qkv_rank(r):
+        caches, qs, ks, vs = [], [], [], []
         for i in range(u):
             sl = layout.local_slice(i)
             qh, kh, vh, cache = attn_pre_forward(
                 params, cfg, x_shards[r][:, sl], layout.global_positions(r, i)
             )
-            pre_caches[r][i] = cache
-            q_chunks[r][i] = qh
-            k_chunks[r][i] = kh
-            v_chunks[r][i] = vh
+            caches.append(cache)
+            qs.append(qh)
+            ks.append(kh)
+            vs.append(vh)
             cluster.devices[r].compute(
                 "fpdt.qkv_proj_fwd",
                 flops=_qkv_proj_flops(cfg, batch, sl.stop - sl.start),
             )
+        return caches, qs, ks, vs
 
-    cluster.rank_map(qkv_rank)
+    for r, (caches, qs, ks, vs) in enumerate(cluster.rank_map(qkv_rank)):
+        pre_caches[r] = caches
+        q_chunks[r] = qs
+        k_chunks[r] = ks
+        v_chunks[r] = vs
 
     # Phase 2: chunked distributed attention with offloading (+ optional
     # sliding window, under which out-of-window chunks are skipped).
@@ -144,6 +154,7 @@ def fpdt_block_forward(
 
     def out_proj_rank(r):
         mid = np.empty_like(x_shards[r])
+        caches = []
         for i in range(u):
             sl = layout.local_slice(i)
             # The projection writes straight into the chunk's view of the
@@ -151,14 +162,17 @@ def fpdt_block_forward(
             _, cache = attn_post_forward(
                 params, x_shards[r][:, sl], o_chunks[r][i], y_out=mid[:, sl]
             )
-            post_caches[r][i] = cache
+            caches.append(cache)
             cluster.devices[r].compute(
                 "fpdt.out_proj_fwd",
                 flops=_out_proj_flops(cfg, batch, sl.stop - sl.start),
             )
-        return mid
+        return mid, caches
 
-    mid_shards = cluster.rank_map(out_proj_rank)
+    mid_shards = []
+    for r, (mid, caches) in enumerate(cluster.rank_map(out_proj_rank)):
+        post_caches[r] = caches
+        mid_shards.append(mid)
 
     # Phase 4: FFN at 2x the attention chunk count, never offloaded.
     ffn_chunks = max(1, ffn_chunk_factor * u)
@@ -166,17 +180,21 @@ def fpdt_block_forward(
 
     def ffn_rank(r):
         y = np.empty_like(mid_shards[r])
+        caches = []
         for lo, hi in _ffn_bounds(layout.s_local, ffn_chunks):
             _, cache = ffn_forward(
                 params, cfg, mid_shards[r][:, lo:hi], y_out=y[:, lo:hi]
             )
-            ffn_caches[r].append(cache)
+            caches.append(cache)
             cluster.devices[r].compute(
                 "fpdt.ffn_fwd", flops=_ffn_flops(cfg, batch, hi - lo), nbytes=(hi - lo)
             )
-        return y
+        return y, caches
 
-    y_shards = cluster.rank_map(ffn_rank)
+    y_shards = []
+    for r, (y, caches) in enumerate(cluster.rank_map(ffn_rank)):
+        ffn_caches[r] = caches
+        y_shards.append(y)
 
     ctx = FPDTBlockContext(
         layout=layout, attn_ctx=attn_ctx, pre_caches=pre_caches,
@@ -236,19 +254,22 @@ def fpdt_block_backward(
 
     def out_proj_bwd_rank(r):
         chunk_grads = []
+        dos, dress = [], []
         for i in range(u):
             sl = layout.local_slice(i)
             do, dres, g = attn_post_backward(dmid_shards[r][:, sl], ctx.post_caches[r][i])
             chunk_grads.append(g)
-            do_chunks[r][i] = do
-            dres_chunks[r][i] = dres
+            dos.append(do)
+            dress.append(dres)
             cluster.devices[r].compute(
                 "fpdt.out_proj_bwd",
                 flops=2.0 * _out_proj_flops(cfg, batch, sl.stop - sl.start),
             )
-        return chunk_grads
+        return chunk_grads, dos, dress
 
-    for chunk_grads in cluster.rank_map(out_proj_bwd_rank):
+    for r, (chunk_grads, dos, dress) in enumerate(cluster.rank_map(out_proj_bwd_rank)):
+        do_chunks[r] = dos
+        dres_chunks[r] = dress
         for g in chunk_grads:
             accumulate_grads(grads, g)
 

@@ -155,14 +155,23 @@ class ZeroAdam:
             grad_shards = [t.data * scale for t in shards]
             free_all(shards)
 
-        new_shards = cluster.rank_map(
-            lambda rank: adam_step(
-                self.master_shards[rank], grad_shards[rank], self.opt_state[rank],
-                lr=self.lr, beta1=self.beta1, beta2=self.beta2,
-                eps=self.eps, weight_decay=self.weight_decay, t=self.t,
+        # adam_step rebinds state.m/state.v, so the closures return the
+        # mutated AdamState alongside the new shard and the join
+        # reassigns it — the same objects under serial/threads, the
+        # shipped copies under the process executor.
+        stepped = cluster.rank_map(
+            lambda rank: (
+                adam_step(
+                    self.master_shards[rank], grad_shards[rank], self.opt_state[rank],
+                    lr=self.lr, beta1=self.beta1, beta2=self.beta2,
+                    eps=self.eps, weight_decay=self.weight_decay, t=self.t,
+                ),
+                self.opt_state[rank],
             )
         )
-        self.master_shards = list(new_shards)
+        new_shards = [shard for shard, _ in stepped]
+        self.opt_state = [state for _, state in stepped]
+        self.master_shards = new_shards
 
         shard_dev = as_device_tensors(cluster, new_shards, DType.BF16, "zero.params")
         gathered = all_gather(cluster, shard_dev, axis=0, tag="zero.params")

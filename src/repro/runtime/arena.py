@@ -39,13 +39,21 @@ Aliasing discipline (the reason this is safe):
 
 from __future__ import annotations
 
+import atexit
+import glob
+import itertools
+import os
 import threading
 from contextlib import contextmanager
 
 import numpy as np
 
+from repro.runtime import shuttle
+
 __all__ = [
     "BufferArena",
+    "SharedArena",
+    "shared_segments",
     "fast_path_enabled",
     "set_fast_path",
     "fast_path",
@@ -82,6 +90,247 @@ def fast_path(enabled: bool):
         yield
     finally:
         set_fast_path(previous)
+
+
+# --------------------------------------------------------------------------
+# Shared-memory segments (process-executor backing store)
+# --------------------------------------------------------------------------
+
+
+class SharedArena:
+    """``multiprocessing.shared_memory`` segment manager.
+
+    Backs the process executor's zero-copy paths: collective
+    send/recv buffers rented while the process backend is active live in
+    shared segments (children write into them in place), and each
+    child's large result arrays are copied once into a per-rank staging
+    segment the parent adopts at the join.
+
+    Leak discipline — ``/dev/shm`` must end every run empty:
+
+    * parent-created segments are **unlinked immediately** after
+      creation; the mapping survives (children inherit it across the
+      fork) but the name is gone, so nothing can leak it;
+    * child-created staging segments keep their name just long enough
+      for the parent to :meth:`adopt` (attach + unlink) them at the
+      join; a worker crash between create and adopt is covered by the
+      parent's prefix sweep (:meth:`sweep_orphans`, also registered
+      ``atexit``).
+
+    Mappings are pruned opportunistically (:meth:`prune`): a segment
+    whose buffer is still exported by live NumPy views refuses to close
+    and is retried at the next prune.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = itertools.count()
+        self.prefix = f"repro-shm-{os.getpid()}"
+        self._segments: dict[str, object] = {}  # name -> SharedMemory
+        self._bases: dict[str, np.ndarray] = {}  # name -> uint8 view
+        self._blocks: dict[int, tuple[str, int]] = {}  # address -> (name, size)
+        self.created = 0
+        self.adopted = 0
+        self.created_bytes = 0
+
+    def _register(self, shm) -> np.ndarray:
+        base = np.frombuffer(shm.buf, dtype=np.uint8)
+        self._segments[shm.name] = shm
+        self._bases[shm.name] = base
+        self._blocks[base.__array_interface__["data"][0]] = (shm.name, shm.size)
+        return base
+
+    def create(self, nbytes: int, *, unlink: bool = True):
+        """A fresh segment; returns ``(name, uint8_base_array)``.
+
+        ``unlink=False`` keeps the name alive for a cross-process
+        adoption handshake (child staging segments only).
+        """
+        from multiprocessing import shared_memory
+
+        if shuttle.in_child():
+            name = f"{self.prefix}-c{os.getpid()}-{next(self._count)}"
+        else:
+            name = f"{self.prefix}-{next(self._count)}"
+        shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, int(nbytes)))
+        if unlink:
+            shm.unlink()
+        with self._lock:
+            base = self._register(shm)
+            self.created += 1
+            self.created_bytes += shm.size
+        return name, base
+
+    def adopt(self, name: str) -> np.ndarray:
+        """Attach a child-created segment by name and unlink it at once,
+        so the name disappears the moment the parent holds a mapping."""
+        from multiprocessing import shared_memory
+
+        with self._lock:
+            base = self._bases.get(name)
+            if base is not None:
+                return base
+        shm = shared_memory.SharedMemory(name=name)
+        shm.unlink()
+        with self._lock:
+            base = self._register(shm)
+            self.adopted += 1
+        return base
+
+    def view(self, name: str, offset: int, shape, dtype) -> np.ndarray:
+        """A typed array over ``[offset, offset + size)`` of a segment."""
+        with self._lock:
+            base = self._bases.get(name)
+        if base is None:
+            base = self.adopt(name)
+        count = int(np.prod(shape, dtype=np.int64))
+        return np.frombuffer(
+            base, dtype=np.dtype(dtype), count=count, offset=offset
+        ).reshape(shape)
+
+    def new_array(self, shape, dtype) -> np.ndarray:
+        """An uninitialized array in a dedicated fresh segment (the
+        shm-backed rent path of :class:`BufferArena`)."""
+        dtype = np.dtype(dtype)
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        name, base = self.create(nbytes)
+        return self.view(name, 0, shape, dtype)
+
+    def locate(self, address: int, nbytes: int):
+        """``(name, offset)`` when ``[address, address + nbytes)`` lies
+        inside a registered segment, else ``None``."""
+        with self._lock:
+            blocks = list(self._blocks.items())
+        for start, (name, size) in blocks:
+            if start <= address and address + nbytes <= start + size:
+                return name, address - start
+        return None
+
+    def owns_block(self, array: np.ndarray) -> bool:
+        """Whether ``array`` is exactly a whole registered segment (the
+        only shm views :meth:`BufferArena.giveback` will recycle)."""
+        if not array.flags.c_contiguous:
+            return False
+        address = array.__array_interface__["data"][0]
+        with self._lock:
+            block = self._blocks.get(address)
+        return block is not None and block[1] == array.nbytes
+
+    @property
+    def active_segments(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    def prune(self) -> int:
+        """Close mappings no live array references; returns how many
+        closed.  Segments still exported by views are kept and retried
+        on the next call (their names are already unlinked either way)."""
+        closed = 0
+        with self._lock:
+            for name in list(self._segments):
+                base = self._bases[name]
+                shm = self._segments[name]
+                self._bases.pop(name)
+                address = base.__array_interface__["data"][0]
+                del base
+                try:
+                    shm.close()
+                except BufferError:
+                    # A result array still references the buffer.  The
+                    # failed close() already released the SharedMemory's
+                    # own memoryview (shm.buf is None now) but the mmap
+                    # survived, so rebuild the base view from it and
+                    # retry at the next prune.
+                    self._bases[name] = np.frombuffer(shm._mmap, dtype=np.uint8)
+                    continue
+                self._segments.pop(name)
+                self._blocks.pop(address, None)
+                closed += 1
+        return closed
+
+    def _exit_cleanup(self) -> None:
+        """atexit: unlink orphaned names, close what can close, and
+        neuter still-exported mappings so ``SharedMemory.__del__``
+        doesn't spray BufferErrors during interpreter teardown.  Names
+        are already unlinked (unlink-at-birth / adopt), so the OS
+        reclaims the pages at process exit either way."""
+        self.sweep_orphans()
+        self.prune()
+        with self._lock:
+            for shm in self._segments.values():
+                try:
+                    fd = getattr(shm, "_fd", -1)
+                    if fd >= 0:
+                        os.close(fd)
+                        shm._fd = -1
+                except OSError:
+                    pass
+                # Live NumPy views keep the mmap object itself alive;
+                # dropping the SharedMemory's references just stops its
+                # __del__ from attempting the doomed close.
+                shm._mmap = None
+                shm._buf = None
+            self._segments.clear()
+            self._bases.clear()
+            self._blocks.clear()
+
+    def sweep_orphans(self) -> int:
+        """Unlink any ``/dev/shm`` entry carrying our prefix (staging
+        segments a crashed worker never handed over)."""
+        from multiprocessing import shared_memory
+
+        if shuttle.in_child() or not os.path.isdir("/dev/shm"):
+            return 0
+        swept = 0
+        for path in glob.glob(f"/dev/shm/{self.prefix}-*"):
+            name = os.path.basename(path)
+            with self._lock:
+                if name in self._segments:
+                    continue
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+                shm.unlink()
+                shm.close()
+                swept += 1
+            except (FileNotFoundError, OSError):
+                continue
+        return swept
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "created": self.created,
+                "adopted": self.adopted,
+                "created_bytes": self.created_bytes,
+                "active_segments": len(self._segments),
+            }
+
+
+_shared_lock = threading.Lock()
+_shared: SharedArena | None = None
+
+
+def shared_segments(*, create: bool = True) -> SharedArena | None:
+    """The process-wide :class:`SharedArena` (lazily created; pass
+    ``create=False`` to peek without creating one)."""
+    global _shared
+    with _shared_lock:
+        if _shared is None and create:
+            _shared = SharedArena()
+            atexit.register(_shared._exit_cleanup)
+        return _shared
+
+
+def _shared_rent_active(nbytes: int) -> bool:
+    """Whether a fresh arena buffer of ``nbytes`` should live in a shared
+    segment: only in the parent, only while the process backend is the
+    installed executor, and only for buffers big enough to matter."""
+    if nbytes < shuttle.STAGE_MIN_BYTES or shuttle.in_child():
+        return False
+    from repro.runtime import executor
+
+    ex = executor._global_executor
+    return ex is not None and ex.backend == "process" and ex.workers > 1
 
 
 # --------------------------------------------------------------------------
@@ -135,7 +384,15 @@ class BufferArena:
 
     def rent(self, shape: tuple[int, ...], dtype) -> np.ndarray:
         """An *uninitialized* C-contiguous buffer of ``shape``/``dtype``:
-        a warm one from the free list when available, else fresh."""
+        a warm one from the free list when available, else fresh.
+
+        While the process executor backend is installed, fresh buffers
+        big enough to cross a fork-join (collective send/recv storage)
+        are carved from shared-memory segments, so worker processes can
+        read *and write* them in place — the zero-copy handoff at the
+        collective rendezvous.
+        """
+        dtype = np.dtype(dtype)
         with self._lock:
             bucket = self._free.get(self._key(shape, dtype))
             if bucket:
@@ -144,7 +401,10 @@ class BufferArena:
                 self.reused_bytes += buf.nbytes
                 return buf
             self.misses += 1
-        return np.empty(shape, np.dtype(dtype))
+        nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if _shared_rent_active(nbytes):
+            return shared_segments().new_array(shape, dtype)
+        return np.empty(shape, dtype)
 
     def giveback(self, array: np.ndarray) -> bool:
         """Return a dead buffer to the free list.
@@ -153,10 +413,14 @@ class BufferArena:
         the next renter will overwrite it.  Only C-contiguous base
         arrays are accepted (views are refused, returning ``False``):
         recycling a view would hand out a buffer whose base is still
-        alive somewhere else.
+        alive somewhere else.  The one exception is a view spanning an
+        *entire* registered shared segment — that segment is dedicated
+        to this buffer, so recycling it aliases nothing.
         """
         if array.base is not None or not array.flags.c_contiguous:
-            return False
+            segs = shared_segments(create=False)
+            if segs is None or not segs.owns_block(array):
+                return False
         key = self._key(array.shape, array.dtype)
         with self._lock:
             bucket = self._free.setdefault(key, [])

@@ -27,18 +27,36 @@ timelines (``record_timeline=True`` stamps samples with the live trace
 position) and fault injection (per-op fault draws are an ordered
 sequence).  ``VirtualCluster.rank_map`` applies both guards.
 
+The **process** backend runs the same fork-join on worker *processes*
+(``os.fork`` per section, rank ``r`` on worker ``r % n``), sidestepping
+the GIL entirely on the small-op-dense FPDT schedule where thread
+workers serialize on Python bookkeeping.  Side effects cross the fork
+through :mod:`repro.runtime.shuttle`: pool/cache mutations are
+journaled in the children and replayed in rank order at the join (so
+byte accounting is identical to serial by construction), results
+travel as shared-segment descriptors or staged copies, and trace/span
+buffers merge exactly as the thread backend's do — the determinism
+contract above holds bitwise for all three backends.  Closures that
+must mutate shared Python state in place (serving's decode batch) pass
+``shared_state=True`` and fall back to the thread pool.
+
 Selection: ``executor(workers=N)`` context manager, the
-``REPRO_EXECUTOR`` env var (``serial`` | ``threads`` | ``threads:N``),
-or the ``--workers`` CLI flag.  The threads backend is the default;
-``workers`` defaults to the CPU count, so a single-core host degrades
-to the serial path automatically.
+``REPRO_EXECUTOR`` env var (``serial`` | ``threads`` | ``threads:N`` |
+``process`` | ``process:N``), or the ``--workers``/``--executor`` CLI
+flags.  The threads backend is the default; ``workers`` defaults to
+the CPU count, so a single-core host degrades to the serial path
+automatically.
 """
 
 from __future__ import annotations
 
 import os
+import pickle
+import struct
+import sys
 import threading
 import time
+import traceback
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Any, Callable, Sequence
@@ -141,6 +159,31 @@ def _in_rank_closure() -> bool:
     return getattr(_TLS, "active", False)
 
 
+def _write_frame(fd: int, payload: bytes) -> None:
+    """Length-prefixed write; loops because pipes take partial writes."""
+    view = memoryview(struct.pack("<Q", len(payload)) + payload)
+    while view:
+        view = view[os.write(fd, view):]
+
+
+def _read_exact(fd: int, n: int) -> bytes | None:
+    chunks = []
+    while n:
+        chunk = os.read(fd, min(n, 1 << 20))
+        if not chunk:
+            return None  # EOF before the frame completed: worker died
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _read_frame(fd: int) -> bytes | None:
+    header = _read_exact(fd, 8)
+    if header is None:
+        return None
+    return _read_exact(fd, struct.unpack("<Q", header)[0])
+
+
 class RankExecutor:
     """Process-wide fork-join dispatcher for per-rank closures.
 
@@ -163,8 +206,10 @@ class RankExecutor:
     """
 
     def __init__(self, backend: str = "threads", workers: int | None = None):
-        if backend not in ("threads", "serial"):
+        if backend not in ("threads", "serial", "process"):
             raise ValueError(f"unknown executor backend {backend!r}")
+        if backend == "process" and not hasattr(os, "fork"):
+            raise ValueError("the process backend requires os.fork (POSIX)")
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
@@ -175,15 +220,21 @@ class RankExecutor:
         self.tasks = 0
         self.busy_seconds = 0.0
         self.wall_seconds = 0.0
+        #: Process backend only: worker processes forked, and IPC
+        #: descriptors (tensor refs, shared-segment views, staged
+        #: arrays) decoded at joins — telemetry surfaces both per step.
+        self.forks = 0
+        self.ipc_descriptors = 0
         self._pool: ThreadPoolExecutor | None = None
+        self._fork_ready = False
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
     @property
     def parallel(self) -> bool:
-        """Whether this executor dispatches to threads at all."""
-        return self.backend == "threads" and self.workers > 1
+        """Whether this executor dispatches rank closures at all."""
+        return self.backend in ("threads", "process") and self.workers > 1
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         with self._lock:
@@ -203,14 +254,19 @@ class RankExecutor:
         *,
         trace=None,
         force_serial: bool = False,
+        shared_state: bool = False,
     ) -> list:
         """Run ``fn(r)`` for every rank; return results in rank order.
 
         ``trace`` is the cluster trace to buffer per rank and merge at
         the join.  ``force_serial`` pins this call to the serial path
-        (timeline recording, fault injection).  Nested calls — a rank
-        closure invoking ``rank_map`` — run inline serially, so events
-        stay on the outer rank's buffer in their serial order.
+        (timeline recording, fault injection).  ``shared_state`` marks
+        closures that mutate shared Python objects in place (serving's
+        decode states): the process backend cannot see such mutations
+        across the fork, so it routes the call to its thread pool
+        instead.  Nested calls — a rank closure invoking ``rank_map`` —
+        run inline serially, so events stay on the outer rank's buffer
+        in their serial order.
 
         Exceptions: every rank runs to completion (or failure); the
         lowest-rank exception is re-raised after the trace buffers of
@@ -224,7 +280,13 @@ class RankExecutor:
             or _in_rank_closure()
         ):
             return [fn(r) for r in range(world)]
+        if self.backend == "process" and not shared_state:
+            return self._rank_map_process(fn, world, trace)
+        return self._rank_map_threads(fn, world, trace)
 
+    # -- threads backend ----------------------------------------------------
+
+    def _rank_map_threads(self, fn: Callable[[int], Any], world: int, trace) -> list:
         pool = self._ensure_pool()
         buffers: list[list | None] = [None] * world
         # Spans completed inside rank closures mirror the trace-event
@@ -278,6 +340,212 @@ class RankExecutor:
             raise errors[0][1]
         return results
 
+    # -- process backend ----------------------------------------------------
+
+    def _prepare_fork(self) -> None:
+        """One-time parent-side setup before the first fork.
+
+        The resource tracker must exist *before* forking: children
+        inherit its pipe, so a staging segment registered in a child is
+        tracked by the parent's tracker (a child-spawned tracker would
+        unlink staging at child exit, racing the parent's adopt).  BLAS
+        setters are resolved now so children clamp without dlopen'ing.
+        """
+        if self._fork_ready:
+            return
+        from multiprocessing import resource_tracker
+
+        from repro.runtime.arena import shared_segments
+
+        resource_tracker.ensure_running()
+        shared_segments()  # create the segment manager pre-fork
+        global _blas_setters
+        with _blas_lock:
+            if _blas_setters is None:
+                _blas_setters = _find_blas_setters()
+        self._fork_ready = True
+
+    def _run_rank_child(self, fn, r: int, trace, tracer) -> dict:
+        """Child side: run one rank closure and encode its frame."""
+        from repro.runtime import shuttle
+
+        shuttle.rank_begin()
+        _TLS.active = True
+        ok = True
+        trace_buffer: list = []
+        span_buffer: list = []
+        start = time.perf_counter()
+        try:
+            if trace is not None:
+                with trace.buffered() as buffer:
+                    trace_buffer = buffer
+                    if tracer is not None:
+                        with tracer.buffered() as spans:
+                            span_buffer = spans
+                            value = fn(r)
+                    else:
+                        value = fn(r)
+            else:
+                value = fn(r)
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            ok = False
+            value = exc
+        finally:
+            _TLS.active = False
+        duration = time.perf_counter() - start
+        return shuttle.encode_frame(
+            r, ok, value, trace_buffer, span_buffer, shuttle.rank_end(), duration
+        )
+
+    def _rank_map_process(self, fn: Callable[[int], Any], world: int, trace) -> list:
+        """Fork-join over worker processes.
+
+        One ``os.fork`` per worker per section — closures are never
+        pickled, the fork's copy-on-write image ships them.  Worker
+        ``w`` runs ranks ``w, w+n, ...`` serially (same per-rank order
+        as the serial loop) and streams the encoded frames back over a
+        pipe; the parent replays the journals in global rank order, then
+        decodes the bodies, then merges trace/span buffers — the same
+        join the threads backend performs.
+        """
+        from repro.runtime import shuttle
+        from repro.runtime.arena import shared_segments
+
+        self._prepare_fork()
+        n = max(1, min(self.workers, world))
+        tracer = getattr(trace, "tracer", None) if trace is not None else None
+        blas_each = max(1, (os.cpu_count() or 1) // n)
+        wall_start = time.perf_counter()
+        procs: list[tuple[int, int]] = []  # (read_fd, pid)
+        for w in range(n):
+            r_fd, w_fd = os.pipe()
+            sys.stdout.flush()
+            sys.stderr.flush()
+            pid = os.fork()
+            if pid == 0:
+                status = 1
+                try:
+                    os.close(r_fd)
+                    for fd, _ in procs:
+                        os.close(fd)
+                    clamp_blas_threads(blas_each)
+                    shuttle.child_begin()
+                    frames = [
+                        self._run_rank_child(fn, r, trace, tracer)
+                        for r in range(w, world, n)
+                    ]
+                    _write_frame(
+                        w_fd, pickle.dumps(frames, protocol=pickle.HIGHEST_PROTOCOL)
+                    )
+                    status = 0
+                except BaseException:  # noqa: BLE001 - last-resort child report
+                    traceback.print_exc()
+                finally:
+                    try:
+                        os.close(w_fd)
+                    except OSError:
+                        pass
+                    sys.stderr.flush()
+                    os._exit(status)
+            os.close(w_fd)
+            procs.append((r_fd, pid))
+
+        frames_by_rank: dict[int, dict] = {}
+        dead: RuntimeError | None = None
+        for w, (r_fd, pid) in enumerate(procs):
+            try:
+                payload = _read_frame(r_fd)
+            finally:
+                os.close(r_fd)
+            _, wait_status = os.waitpid(pid, 0)
+            if payload is None:
+                if dead is None:
+                    dead = RuntimeError(
+                        f"process executor worker {w} (pid {pid}) died "
+                        f"without a result (wait status {wait_status})"
+                    )
+                continue
+            for frame in pickle.loads(payload):
+                frames_by_rank[frame["rank"]] = frame
+        if dead is not None:
+            segs = shared_segments(create=False)
+            if segs is not None:
+                segs.sweep_orphans()
+            raise dead
+
+        # Replay every journal in global rank order first: the pool
+        # accounting trajectory must match the serial loop, and the
+        # bodies' child-born tensors resolve against the replayed alloc
+        # maps.  Maps are per *worker* — child alloc ids restart from
+        # the same watermark in every child, so they collide across
+        # workers but are unique within one.
+        maps: list[tuple[dict, set]] = [({}, set()) for _ in range(n)]
+        stages: dict[int, list] = {}
+        journals: dict[int, list] = {}
+        for r in range(world):
+            frame = frames_by_rank[r]
+            stages[r] = shuttle.attach_stage(frame["stage"])
+            journals[r] = shuttle.decode_journal(frame["journal"], stages[r])
+        for r in range(world):
+            alloc_map, child_born = maps[r % n]
+            shuttle.replay_journal(journals[r], alloc_map, child_born)
+
+        results: list = [None] * world
+        errors: list[tuple[int, BaseException]] = []
+        buffers: list[list] = []
+        span_buffers: list[list] = []
+        busy = 0.0
+        descriptors = 0
+        for r in range(world):
+            frame = frames_by_rank[r]
+            ok, value, trace_buffer, span_buffer = shuttle.decode_body(
+                frame["body"], stages[r], maps[r % n][0]
+            )
+            busy += frame["duration"]
+            descriptors += frame["descriptors"]
+            buffers.append(trace_buffer)
+            span_buffers.append(span_buffer)
+            if ok:
+                results[r] = value
+            else:
+                errors.append((r, value))
+        if trace is not None:
+            if trace.observer is not None:
+                # The threads backend fires the observer at record time
+                # on the recording thread; child-recorded events replay
+                # it here, in the same (rank, seq) order the merge uses.
+                for buffer in buffers:
+                    for event in buffer:
+                        trace.observer(event)
+            trace.merge(buffers)
+        if tracer is not None:
+            total = sum(len(b) for b in span_buffers)
+            tracer.merge(span_buffers)
+            if total:
+                # end_span() bumped `emitted` in the child, invisible
+                # through the fork; restore the serial count, then fire
+                # listeners now that merge assigned each span's seq.
+                with tracer._lock:
+                    tracer.emitted += total
+                for span_buffer in span_buffers:
+                    for span in span_buffer:
+                        for listener in list(tracer.listeners):
+                            listener(span)
+        wall = time.perf_counter() - wall_start
+        with self._lock:
+            self.fork_joins += 1
+            self.tasks += world
+            self.busy_seconds += busy
+            self.wall_seconds += wall
+            self.forks += n
+            self.ipc_descriptors += descriptors
+        segs = shared_segments(create=False)
+        if segs is not None:
+            segs.prune()
+        if errors:
+            raise errors[0][1]
+        return results
+
     # ------------------------------------------------------------------
 
     def stats(self) -> dict:
@@ -293,6 +561,8 @@ class RankExecutor:
                 "busy_seconds": self.busy_seconds,
                 "wall_seconds": self.wall_seconds,
                 "busy_fraction": self.busy_seconds / denom if denom > 0 else 0.0,
+                "forks": self.forks,
+                "ipc_descriptors": self.ipc_descriptors,
             }
 
     def shutdown(self) -> None:
@@ -316,23 +586,33 @@ _global_executor: RankExecutor | None = None
 def _from_env() -> RankExecutor:
     """Build the default executor from ``REPRO_EXECUTOR``.
 
-    Accepted values: ``serial``, ``threads``, ``threads:N``, or a bare
-    integer ``N`` (shorthand for ``threads:N``).  Unset or empty means
-    threads at CPU count — on by default.
+    Accepted values: ``serial``, ``threads``, ``threads:N``,
+    ``process``, ``process:N``, or a bare integer ``N`` (shorthand for
+    ``threads:N``).  Unset or empty means threads at CPU count — on by
+    default.
     """
     value = os.environ.get("REPRO_EXECUTOR", "").strip().lower()
     if not value or value == "threads":
         return RankExecutor("threads")
     if value == "serial":
         return RankExecutor("serial", workers=1)
-    spec = value[len("threads:"):] if value.startswith("threads:") else value
+    if value == "process":
+        return RankExecutor("process")
+    backend = "threads"
+    spec = value
+    for prefix in ("threads:", "process:"):
+        if value.startswith(prefix):
+            backend = prefix[:-1]
+            spec = value[len(prefix):]
+            break
     try:
         workers = int(spec)
     except ValueError:
         raise ValueError(
-            f"REPRO_EXECUTOR={value!r}: expected 'serial', 'threads' or 'threads:N'"
+            f"REPRO_EXECUTOR={value!r}: expected 'serial', 'threads[:N]' "
+            "or 'process[:N]'"
         ) from None
-    return RankExecutor("threads", workers=workers)
+    return RankExecutor(backend, workers=workers)
 
 
 def get_executor() -> RankExecutor:
@@ -357,12 +637,19 @@ def set_executor(ex: RankExecutor | None) -> RankExecutor | None:
 
 def reset_executor() -> None:
     """Drop the process-wide executor so the next :func:`get_executor`
-    re-reads ``REPRO_EXECUTOR`` (tests that mutate the env use this)."""
+    re-reads ``REPRO_EXECUTOR`` (tests that mutate the env use this).
+    Shared segments backing arena storage are pruned so no ``/dev/shm``
+    bytes outlive the executor that rented them."""
     global _global_executor
     with _global_lock:
         if _global_executor is not None:
             _global_executor.shutdown()
         _global_executor = None
+    from repro.runtime.arena import shared_segments
+
+    segs = shared_segments(create=False)
+    if segs is not None:
+        segs.prune()
 
 
 @contextmanager
@@ -390,9 +677,12 @@ def rank_map(
     *,
     trace=None,
     force_serial: bool = False,
+    shared_state: bool = False,
 ) -> list:
     """Module-level convenience over :func:`get_executor`."""
-    return get_executor().rank_map(fn, world, trace=trace, force_serial=force_serial)
+    return get_executor().rank_map(
+        fn, world, trace=trace, force_serial=force_serial, shared_state=shared_state
+    )
 
 
 def executor_stats() -> dict:

@@ -222,9 +222,11 @@ class ServingEngine:
     def decode_batch(self, states: list[DecodeState]) -> list[int]:
         """One decode token for every request in ``states`` — the
         continuous-batching inner step.  Per-request forwards touch no
-        shared state, so they fan out on the rank executor; fault
-        injection forces the serial path (ordered per-op draws), the
-        same guard ``VirtualCluster.rank_map`` applies."""
+        *cross-request* state, so they fan out on the rank executor;
+        fault injection forces the serial path (ordered per-op draws),
+        the same guard ``VirtualCluster.rank_map`` applies.  Each
+        closure mutates its ``DecodeState`` in place, so the process
+        backend is told to use threads (``shared_state=True``)."""
         if not states:
             return []
         tokens = rank_map(
@@ -232,6 +234,7 @@ class ServingEngine:
             len(states),
             trace=self.cluster.trace,
             force_serial=self.cluster.fault_injector is not None,
+            shared_state=True,
         )
         if self._decode_tokens is not None:
             self._decode_tokens.inc(len(states))

@@ -72,6 +72,11 @@ class StepRecord:
     executor_workers: int = 0
     executor_fork_joins: int = 0
     executor_busy_fraction: float = 0.0
+    # Process-backend extras (zero under serial/threads): backend name,
+    # worker processes forked, IPC descriptors decoded at joins.
+    executor_backend: str = ""
+    executor_forks: int = 0
+    executor_ipc_descriptors: int = 0
     # Fault-injection deltas for this step (``fault``/``retry`` events
     # on the step's trace slice); stay zero on clean runs.
     fault_count: int = 0
@@ -218,6 +223,14 @@ class RunLogger:
             .set(rec.executor_fork_joins)
         reg.gauge("executor_busy_fraction",
                   "rank-executor busy/(wall*workers)").set(rec.executor_busy_fraction)
+        reg.gauge("executor_backend",
+                  "rank-executor backend (0=serial, 1=threads, 2=process)") \
+            .set({"serial": 0, "threads": 1, "process": 2}.get(rec.executor_backend, 0))
+        reg.gauge("executor_forks",
+                  "worker processes forked (cumulative)").set(rec.executor_forks)
+        reg.gauge("executor_ipc_descriptors",
+                  "IPC descriptors decoded at fork-joins (cumulative)") \
+            .set(rec.executor_ipc_descriptors)
         reg.gauge("spans_emitted_total",
                   "completed causal spans").set(rec.spans_emitted_total)
         reg.gauge("slo_violations_total",
@@ -277,6 +290,9 @@ class RunLogger:
             summary["executor_workers"] = last.executor_workers
             summary["executor_fork_joins"] = last.executor_fork_joins
             summary["executor_busy_fraction"] = last.executor_busy_fraction
+            summary["executor_backend"] = last.executor_backend
+            summary["executor_forks"] = last.executor_forks
+            summary["executor_ipc_descriptors"] = last.executor_ipc_descriptors
             summary["spans_emitted_total"] = last.spans_emitted_total
             summary["slo_violations_total"] = last.slo_violations_total
             summary["flight_recorder_high_watermark"] = (

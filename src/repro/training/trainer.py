@@ -238,6 +238,9 @@ class Trainer:
         record.executor_workers = ex["workers"] if ex["parallel"] else 1
         record.executor_fork_joins = ex["fork_joins"]
         record.executor_busy_fraction = ex["busy_fraction"]
+        record.executor_backend = ex["backend"]
+        record.executor_forks = ex["forks"]
+        record.executor_ipc_descriptors = ex["ipc_descriptors"]
         # Post-step parameters are replicated across ranks by
         # construction here; a real deployment feeds per-rank values.
         checksum = checksum_params(self.model.all_params())

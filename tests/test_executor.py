@@ -10,6 +10,7 @@ concurrent load, and the BLAS oversubscription guard.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 
@@ -29,6 +30,10 @@ from repro.runtime.executor import (
 )
 from repro.runtime.memory import MemoryPool
 from repro.runtime.trace import Trace
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="process backend needs os.fork"
+)
 
 
 @pytest.fixture(autouse=True)
@@ -196,6 +201,223 @@ def test_fold_accumulates_in_rank_order_and_skips_empty():
 
 
 # ---------------------------------------------------------------------------
+# Process backend: fork-join dispatch, descriptor stats, failure policy
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+def test_process_results_in_rank_order_from_worker_processes():
+    ex = RankExecutor("process", workers=4)
+    parent = os.getpid()
+    try:
+        results = ex.rank_map(lambda r: (r * 10, os.getpid()), 4)
+    finally:
+        ex.shutdown()
+    assert [v for v, _ in results] == [0, 10, 20, 30]
+    pids = {pid for _, pid in results}
+    assert parent not in pids  # every rank really ran in a child
+    assert len(pids) == 4  # one worker per rank at workers=4
+
+
+@needs_fork
+def test_process_distributes_ranks_round_robin_over_workers():
+    ex = RankExecutor("process", workers=2)
+    try:
+        pids = ex.rank_map(lambda r: os.getpid(), 6)
+    finally:
+        ex.shutdown()
+    # rank r runs on worker r % n: ranks {0,2,4} share a pid, {1,3,5} the other.
+    assert pids[0] == pids[2] == pids[4]
+    assert pids[1] == pids[3] == pids[5]
+    assert pids[0] != pids[1]
+
+
+@needs_fork
+def test_process_lowest_rank_exception_wins():
+    ex = RankExecutor("process", workers=4)
+    try:
+
+        def flaky(r: int) -> int:
+            if r in (1, 3):
+                raise ValueError(f"rank {r} failed")
+            return r
+
+        with pytest.raises(ValueError, match="rank 1 failed"):
+            ex.rank_map(flaky, 4)
+    finally:
+        ex.shutdown()
+
+
+@needs_fork
+def test_process_trace_events_merge_in_rank_order_with_sequential_ids():
+    ex = RankExecutor("process", workers=4)
+    trace = Trace()
+    trace.record("phase", "before")  # id 0, recorded in the parent
+    try:
+
+        def emit(r: int) -> None:
+            trace.record("compute", f"work[{r}].a", rank=r)
+            trace.record("compute", f"work[{r}].b", rank=r)
+
+        ex.rank_map(emit, 3, trace=trace)
+    finally:
+        ex.shutdown()
+    labels = [e.label for e in trace.events]
+    assert labels == [
+        "before",
+        "work[0].a", "work[0].b",
+        "work[1].a", "work[1].b",
+        "work[2].a", "work[2].b",
+    ]
+    assert [e.event_id for e in trace.events] == list(range(7))
+    assert trace.record("phase", "after").event_id == 7
+
+
+@needs_fork
+def test_process_stats_count_forks_and_shipped_descriptors():
+    ex = RankExecutor("process", workers=2)
+    try:
+        # Large C-contiguous results cross the pipe as staging-segment
+        # descriptors rather than inline pickle bytes.
+        ex.rank_map(lambda r: np.full(32_768, float(r)), 4)
+        ex.rank_map(lambda r: None, 4)
+        stats = ex.stats()
+    finally:
+        ex.shutdown()
+    assert stats["backend"] == "process"
+    assert stats["fork_joins"] == 2
+    assert stats["forks"] == 4  # 2 workers forked per section
+    assert stats["ipc_descriptors"] >= 4  # one stage ref per big array
+
+
+def test_threads_stats_report_zero_forks():
+    ex = RankExecutor("threads", workers=2)
+    try:
+        ex.rank_map(lambda r: r, 4)
+        stats = ex.stats()
+    finally:
+        ex.shutdown()
+    assert stats["forks"] == 0 and stats["ipc_descriptors"] == 0
+
+
+@needs_fork
+def test_process_shared_state_falls_back_to_threads():
+    """``shared_state=True`` (serving's decode batcher mutates shared
+    KV state in place) must keep the closures in this address space."""
+    ex = RankExecutor("process", workers=4)
+    parent = os.getpid()
+    try:
+        pids = ex.rank_map(lambda r: os.getpid(), 4, shared_state=True)
+        assert pids == [parent] * 4
+        assert ex.stats()["forks"] == 0
+    finally:
+        ex.shutdown()
+
+
+@needs_fork
+def test_process_force_serial_and_world_one_run_inline():
+    ex = RankExecutor("process", workers=4)
+    parent = os.getpid()
+    try:
+        assert ex.rank_map(lambda r: os.getpid(), 1) == [parent]
+        assert ex.rank_map(lambda r: os.getpid(), 3, force_serial=True) == [parent] * 3
+        assert ex.stats()["forks"] == 0
+    finally:
+        ex.shutdown()
+
+
+@needs_fork
+def test_process_nested_rank_map_runs_inline_in_the_child():
+    ex = RankExecutor("process", workers=2)
+    try:
+
+        def outer(r: int):
+            me = os.getpid()
+            inner_pids = ex.rank_map(lambda s: os.getpid(), 2)
+            assert inner_pids == [me, me]  # no fork-from-fork
+            return r
+
+        assert ex.rank_map(outer, 2) == [0, 1]
+        assert ex.stats()["fork_joins"] == 1
+    finally:
+        ex.shutdown()
+
+
+@needs_fork
+def test_process_ships_structured_exceptions_intact():
+    """Runtime errors with required constructor fields (OOM carries
+    pool/requested/capacity/in_use) must survive the result pipe — the
+    capacity experiments diagnose failures from those fields."""
+    from repro.common.errors import OutOfMemoryError
+
+    ex = RankExecutor("process", workers=2)
+    try:
+
+        def oom(r: int) -> int:
+            if r == 0:
+                raise OutOfMemoryError("cuda:0", 1024, 512, 400)
+            return r
+
+        with pytest.raises(OutOfMemoryError) as info:
+            ex.rank_map(oom, 2)
+    finally:
+        ex.shutdown()
+    err = info.value
+    assert (err.pool, err.requested, err.capacity, err.in_use) == (
+        "cuda:0", 1024, 512, 400,
+    )
+
+
+@needs_fork
+def test_process_dead_worker_is_a_loud_error():
+    ex = RankExecutor("process", workers=2)
+    try:
+
+        def die(r: int) -> int:
+            if r == 1:
+                os._exit(17)  # simulates a segfaulted/OOM-killed worker
+            return r
+
+        with pytest.raises(RuntimeError, match="died without a result"):
+            ex.rank_map(die, 2)
+    finally:
+        ex.shutdown()
+
+
+@needs_fork
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="the speedup only shows with >=4 physical cores",
+)
+def test_process_backend_speeds_up_python_heavy_ranks():
+    """The process backend's reason to exist: pure-Python rank compute
+    holds the GIL, so threads serialize it while forked workers scale
+    across cores.  Report-only bench receipts carry the numbers; this is
+    the hard wall-clock assertion, gated on capable hardware."""
+
+    def burn(r: int) -> int:
+        total = 0
+        for i in range(600_000):
+            total += i * i
+        return total
+
+    serial = RankExecutor("serial", workers=1)
+    start = time.perf_counter()
+    expected = serial.rank_map(burn, 4)
+    serial_t = time.perf_counter() - start
+
+    ex = RankExecutor("process", workers=4)
+    try:
+        start = time.perf_counter()
+        got = ex.rank_map(burn, 4)
+        proc_t = time.perf_counter() - start
+    finally:
+        ex.shutdown()
+    assert got == expected
+    assert proc_t < serial_t * 0.75, (proc_t, serial_t)
+
+
+# ---------------------------------------------------------------------------
 # Selection: env var, context manager, constructor validation
 # ---------------------------------------------------------------------------
 
@@ -213,6 +435,19 @@ def test_env_selects_thread_count(monkeypatch, value, workers):
     reset_executor()
     ex = get_executor()
     assert ex.backend == "threads" and ex.workers == workers
+
+
+@needs_fork
+@pytest.mark.parametrize("value,workers", [("process:3", 3), ("process", None)])
+def test_env_selects_process_backend(monkeypatch, value, workers):
+    monkeypatch.setenv("REPRO_EXECUTOR", value)
+    reset_executor()
+    ex = get_executor()
+    assert ex.backend == "process"
+    if workers is not None:
+        assert ex.workers == workers
+    else:
+        assert ex.workers >= 1  # defaults to the CPU count
 
 
 def test_env_default_is_threads_at_cpu_count(monkeypatch):

@@ -1,6 +1,6 @@
 """Bitwise executor-on/off equivalence across every strategy.
 
-The rank executor's whole contract is that threading is **invisible**:
+The rank executor's whole contract is that parallelism is **invisible**:
 with ``workers=4`` each strategy must produce the same loss bytes, the
 same gradient bytes, the same trace-event stream (ids included) and the
 same pool peaks as the serial loop — not merely "close".  These tests
@@ -8,9 +8,18 @@ run every strategy both ways and compare at the byte level, then check
 that repeated parallel runs are self-identical (no run-to-run thread
 nondeterminism) — the receipts behind the "bitwise identity" acceptance
 bar.
+
+The matrix covers both parallel backends: ``threads`` (shared address
+space) and ``process`` (fork-join workers talking through pickled
+descriptors and shared-memory segments).  The process backend has far
+more machinery that could diverge — journal replay for pool accounting,
+tensor shipping, staged result arrays — so the same byte-level bar
+applies to it unchanged.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -30,6 +39,10 @@ from .helpers import rng
 
 WORLD = 4
 SEQ = 32
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="process backend needs os.fork"
+)
 
 
 @pytest.fixture(autouse=True)
@@ -87,30 +100,43 @@ STRATEGIES = {
 }
 
 
-def _run_strategy(name: str, workers: int):
+def _run_strategy(name: str, workers: int, backend: str | None = None):
     cfg_factory, make_runner = STRATEGIES[name]
     cfg = cfg_factory()
     tokens, labels = _data(cfg)
     model = GPTModel(cfg, seed=7)
     cluster = VirtualCluster(WORLD)
     runner = make_runner(model, cluster)
-    with executor(workers=workers):
+    with executor(workers=workers, backend=backend):
         loss, grads = runner.forward_backward(tokens, labels)
     events, peaks = _cluster_signature(cluster)
     cluster.check_no_leaks()
     return loss, grads, events, peaks
 
 
-@pytest.mark.parametrize("name", sorted(STRATEGIES))
-def test_workers4_bitwise_identical_to_serial(name):
+def _assert_matches_serial(name: str, backend: str):
     loss1, grads1, events1, peaks1 = _run_strategy(name, workers=1)
-    loss4, grads4, events4, peaks4 = _run_strategy(name, workers=4)
+    loss4, grads4, events4, peaks4 = _run_strategy(name, workers=4, backend=backend)
     assert loss1 == loss4  # exact float equality, not approx
     assert set(grads1) == set(grads4)
     for key in grads1:
         assert grads1[key].tobytes() == grads4[key].tobytes(), key
     assert events1 == events4
     assert peaks1 == peaks4
+
+
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+def test_workers4_bitwise_identical_to_serial(name):
+    _assert_matches_serial(name, backend="threads")
+
+
+@needs_fork
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+def test_process4_bitwise_identical_to_serial(name):
+    """The fork-join worker backend must be byte-invisible too: pool
+    peaks rebuilt through journal replay, gradients shipped through the
+    descriptor pipe, trace streams merged at the join — all identical."""
+    _assert_matches_serial(name, backend="process")
 
 
 def test_reference_model_unaffected_by_executor():
@@ -134,10 +160,19 @@ def test_reference_model_unaffected_by_executor():
         assert grads1[key].tobytes() == grads4[key].tobytes(), key
 
 
-@pytest.mark.parametrize("stage", [1, 2, 3])
-def test_zero_adam_bitwise_identical(stage):
+@pytest.mark.parametrize(
+    "stage,backend",
+    [(s, b) for s in (1, 2, 3) for b in ("threads", "process")],
+    ids=lambda v: str(v),
+)
+def test_zero_adam_bitwise_identical(stage, backend):
     """ZeRO's flatten + per-shard Adam runs under rank_map; two steps at
-    workers=4 must reproduce the serial parameter bytes and trace."""
+    workers=4 must reproduce the serial parameter bytes and trace.  The
+    process backend is the hard case: ``adam_step`` rebinds the moment
+    arrays on the optimizer state, so the state must travel back through
+    the result pipe or step 2 silently diverges."""
+    if backend == "process" and not hasattr(os, "fork"):
+        pytest.skip("process backend needs os.fork")
     cfg = _llama()
     model = GPTModel(cfg, seed=1)
     params = model.all_params()
@@ -146,16 +181,16 @@ def test_zero_adam_bitwise_identical(stage):
         {k: g.normal(size=v.shape) for k, v in params.items()} for _ in range(2)
     ]
 
-    def run(workers):
+    def run(workers, run_backend=None):
         cluster = VirtualCluster(WORLD)
         zopt = ZeroAdam(cluster, params, stage=stage, lr=1e-2)
-        with executor(workers=workers):
+        with executor(workers=workers, backend=run_backend):
             for grads in grad_steps:
                 new = zopt.step([grads] * WORLD)
         return new, _cluster_signature(cluster)
 
     new1, sig1 = run(1)
-    new4, sig4 = run(4)
+    new4, sig4 = run(4, backend)
     for key in new1:
         assert new1[key].tobytes() == new4[key].tobytes(), key
     assert sig1 == sig4
@@ -175,3 +210,34 @@ def test_five_runs_at_workers4_are_self_identical():
         )
         signatures.add(blob)
     assert len(signatures) == 1
+
+
+@needs_fork
+def test_three_process_runs_are_self_identical():
+    """Same determinism bar for fork-join workers: repeated process-mode
+    FPDT-with-offload steps produce one unique byte signature."""
+    signatures = set()
+    for _ in range(3):
+        loss, grads, events, peaks = _run_strategy(
+            "fpdt_offload", workers=4, backend="process"
+        )
+        blob = (
+            np.float64(loss).tobytes()
+            + b"".join(grads[k].tobytes() for k in sorted(grads))
+            + repr(events).encode()
+            + repr(peaks).encode()
+        )
+        signatures.add(blob)
+    assert len(signatures) == 1
+
+
+@needs_fork
+def test_process_and_threads_agree_with_each_other():
+    """Transitivity receipt: the two parallel backends, run back to
+    back, land on the same bytes (not just each on serial's)."""
+    t = _run_strategy("ulysses", workers=4, backend="threads")
+    p = _run_strategy("ulysses", workers=4, backend="process")
+    assert t[0] == p[0]
+    for key in t[1]:
+        assert t[1][key].tobytes() == p[1][key].tobytes(), key
+    assert t[2] == p[2] and t[3] == p[3]

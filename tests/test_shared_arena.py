@@ -1,0 +1,290 @@
+"""Shared-memory segments under the process executor.
+
+The :class:`SharedArena` is the process backend's backing store: arena
+buffers big enough to cross a fork-join live in ``/dev/shm`` segments so
+worker processes can read and write them in place, and each child stages
+its large result arrays into a segment the parent adopts at the join.
+These tests pin the leak discipline (``/dev/shm`` ends every test
+empty — even when the interpreter exits without cleanup), the aliasing
+rules (only whole dedicated segments are ever recycled), and the
+loudness of use-after-release across the fork boundary.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.common.dtypes import DType
+from repro.runtime import shuttle
+from repro.runtime.arena import BufferArena, SharedArena, shared_segments
+from repro.runtime.executor import RankExecutor, executor, reset_executor
+from repro.runtime.memory import MemoryPool
+from repro.runtime.tensor import DeviceTensor
+
+needs_fork = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="process backend needs os.fork"
+)
+
+needs_dev_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="no /dev/shm on this platform"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_executor():
+    reset_executor()
+    yield
+    reset_executor()
+
+
+def _shm_entries() -> list[str]:
+    """Live ``/dev/shm`` names carrying this process's segment prefix."""
+    return glob.glob(f"/dev/shm/repro-shm-{os.getpid()}-*")
+
+
+# ---------------------------------------------------------------------------
+# SharedArena: segment lifecycle and aliasing rules
+# ---------------------------------------------------------------------------
+
+
+@needs_dev_shm
+def test_parent_segments_are_unlinked_at_birth():
+    """A parent-created segment must never have a window where a crash
+    could leak its name: create() unlinks before returning."""
+    arena = SharedArena()
+    name, base = arena.create(4096)
+    assert base.nbytes == 4096
+    assert not os.path.exists(f"/dev/shm/{name}")
+    base[:] = 7  # the mapping survives the unlink
+    assert int(base[0]) == 7
+    del base
+    arena.prune()
+
+
+def test_view_and_locate_round_trip():
+    arena = SharedArena()
+    name, base = arena.create(1024)
+    view = arena.view(name, 128, (16,), np.float64)
+    view[:] = np.arange(16.0)
+    # The same bytes through a second view: descriptor semantics.
+    again = arena.view(name, 128, (16,), np.float64)
+    assert again.tobytes() == view.tobytes()
+    address = view.__array_interface__["data"][0]
+    assert arena.locate(address, view.nbytes) == (name, 128)
+    assert arena.locate(address, 4096) is None  # runs past the segment
+    del view, again, base
+    arena.prune()
+
+
+def test_owns_block_accepts_only_whole_dedicated_segments():
+    arena = SharedArena()
+    whole = arena.new_array((256,), np.float64)
+    assert arena.owns_block(whole)
+    assert not arena.owns_block(whole[:128])  # partial view aliases the rest
+    assert not arena.owns_block(np.empty(256))  # ordinary heap array
+    del whole
+    arena.prune()
+
+
+def test_prune_retries_segments_with_live_exports():
+    """A segment still referenced by a result array refuses to close and
+    must survive — readable and writable — until the reference dies."""
+    arena = SharedArena()
+    view = arena.new_array((64,), np.float64)
+    view[:] = 3.0
+    assert arena.prune() == 0  # exported pointer: kept for later
+    assert arena.active_segments == 1
+    view[:] = 4.0  # the mapping stayed valid through the failed close
+    assert float(view.sum()) == 4.0 * 64
+    del view
+    assert arena.prune() == 1
+    assert arena.active_segments == 0
+
+
+# ---------------------------------------------------------------------------
+# BufferArena: the shm-backed rent path
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+def test_rent_is_shm_backed_only_under_an_installed_process_executor():
+    big = (shuttle.STAGE_MIN_BYTES // 8 + 1,)  # crosses the size threshold
+    arena = BufferArena("test")
+    plain = arena.rent(big, np.float64)
+    segs = shared_segments(create=False)
+    assert segs is None or not segs.owns_block(plain)
+    with executor(workers=4, backend="process"):
+        shared = arena.rent(big, np.float64)
+        assert shared_segments().owns_block(shared)
+        small = arena.rent((8,), np.float64)  # under the threshold: heap
+        assert not shared_segments().owns_block(small)
+    del plain, shared, small
+    shared_segments().prune()
+
+
+@needs_fork
+def test_giveback_recycles_whole_segment_views():
+    arena = BufferArena("test")
+    shape = (shuttle.STAGE_MIN_BYTES // 8 + 1,)
+    with executor(workers=4, backend="process"):
+        buf = arena.rent(shape, np.float64)
+        assert shared_segments().owns_block(buf)
+        assert arena.giveback(buf)  # whole dedicated segment: recyclable
+        warm = arena.rent(shape, np.float64)
+        assert warm is buf  # served from the free list, not a new segment
+        assert not arena.giveback(buf[: shape[0] // 2])  # views refused
+        del warm
+    del buf
+    arena.clear()
+    shared_segments().prune()
+
+
+@needs_fork
+def test_concurrent_rent_giveback_on_shared_segments_stays_consistent():
+    """The serving threads hammer one arena while the process backend is
+    installed; every rent must hand out a private buffer."""
+    arena = BufferArena("stress", max_per_key=16)
+    shape = (shuttle.STAGE_MIN_BYTES // 8,)
+    errors: list[BaseException] = []
+    with executor(workers=4, backend="process"):
+        barrier = threading.Barrier(8)
+
+        def body(i: int) -> None:
+            barrier.wait()
+            try:
+                for _ in range(50):
+                    buf = arena.rent(shape, np.float64)
+                    buf.fill(i)
+                    assert float(buf[0]) == float(i)  # nobody else wrote it
+                    arena.giveback(buf)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=body, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    if errors:
+        raise errors[0]
+    stats = arena.stats()
+    assert stats["hits"] + stats["misses"] == 8 * 50
+    arena.clear()
+    shared_segments().prune()
+
+
+# ---------------------------------------------------------------------------
+# Cross-fork semantics: release visibility and staging
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+def test_child_release_is_loud_in_the_parent():
+    """A tensor released inside a worker must be just as dead in the
+    parent after the join: pool bytes returned, data gone."""
+    pool = MemoryPool("host")
+    tensors = [
+        DeviceTensor(np.ones(64), DType.FP32, pool, f"t{r}") for r in range(4)
+    ]
+    ex = RankExecutor("process", workers=4)
+    try:
+
+        def release_mine(r: int) -> None:
+            tensors[r].release()
+
+        ex.rank_map(release_mine, 4)
+    finally:
+        ex.shutdown()
+    assert pool.in_use == 0
+    for t in tensors:
+        assert t.data is None and not t.is_live
+        with pytest.raises(RuntimeError, match="double free"):
+            t.release()
+
+
+@needs_fork
+def test_lowered_staging_threshold_ships_small_results_as_descriptors(monkeypatch):
+    """With the staging floor dropped to one byte, even tiny result
+    arrays cross the pipe as segment descriptors — and still arrive
+    byte-exact, in rank order."""
+    monkeypatch.setattr(shuttle, "STAGE_MIN_BYTES", 1)
+    ex = RankExecutor("process", workers=2)
+    try:
+        results = ex.rank_map(lambda r: np.full(8, float(r)), 4)
+        stats = ex.stats()
+    finally:
+        ex.shutdown()
+    for r, arr in enumerate(results):
+        assert arr.tobytes() == np.full(8, float(r)).tobytes()
+    assert stats["ipc_descriptors"] >= 4
+
+
+# ---------------------------------------------------------------------------
+# Leak discipline: /dev/shm ends every run empty
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+@needs_dev_shm
+def test_no_dev_shm_leak_after_reset_executor():
+    arena = BufferArena("leaktest")
+    shape = (shuttle.STAGE_MIN_BYTES // 8 + 1,)
+    with executor(workers=4, backend="process") as ex:
+        rented = arena.rent(shape, np.float64)
+        ex.rank_map(lambda r: np.full(16_384, float(r)), 4)  # staging traffic
+        del rented
+    arena.clear()
+    reset_executor()  # prunes the shared segments
+    assert _shm_entries() == []
+
+
+@needs_fork
+@needs_dev_shm
+def test_interpreter_exit_sweeps_orphans():
+    """A process that runs fork-join work and exits *without* calling
+    reset_executor must still leave ``/dev/shm`` clean (atexit sweep +
+    unlink-at-birth discipline)."""
+    script = (
+        "import numpy as np\n"
+        "from repro.runtime.executor import RankExecutor\n"
+        "ex = RankExecutor('process', workers=2)\n"
+        "ex.rank_map(lambda r: np.full(32_768, float(r)), 4)\n"
+        "print('pid', __import__('os').getpid())\n"
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, timeout=120, env=env, check=True,
+    )
+    pid = int(out.stdout.split()[-1])
+    assert glob.glob(f"/dev/shm/repro-shm-{pid}-*") == []
+
+
+# ---------------------------------------------------------------------------
+# Fault injection forces the serial path (chaos stays bitwise-identical)
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+def test_fault_injection_forces_serial_under_process_backend():
+    """Fault injectors mutate shared schedule state mid-run; the cluster
+    pins its rank loops serial so chaos runs are identical under every
+    backend — including process."""
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.runtime.device import VirtualCluster
+
+    cluster = VirtualCluster(2)
+    cluster.fault_injector = FaultInjector(FaultPlan())
+    parent = os.getpid()
+    with executor(workers=4, backend="process"):
+        pids = cluster.rank_map(lambda r: os.getpid())
+    assert pids == [parent] * 2

@@ -81,6 +81,26 @@ def _make_step_ulysses(world: int) -> Callable[[bool], Callable[[], None]]:
     return setup
 
 
+def _make_step_usp(
+    world: int, ulysses: int, ring: int
+) -> Callable[[bool], Callable[[], None]]:
+    def setup(quick: bool) -> Callable[[], None]:
+        from repro.parallel import USPModelRunner
+        from repro.runtime.device import VirtualCluster
+
+        model, tokens, labels = _step_setup(quick, world)
+        runner = USPModelRunner(
+            model, VirtualCluster(world), seq_parallel=(ulysses, ring)
+        )
+
+        def run() -> None:
+            runner.forward_backward(tokens, labels)
+
+        return run
+
+    return setup
+
+
 def _make_step_fpdt_offload(world: int) -> Callable[[bool], Callable[[], None]]:
     def setup(quick: bool) -> Callable[[], None]:
         from repro.core import FPDTModelRunner
@@ -110,4 +130,10 @@ STEP_CASES: list[BenchCase] = [
     BenchCase("step_fpdt_offload_w8", "step", _make_step_fpdt_offload(8), repeats=(3, 2)),
     BenchCase("step_ulysses_w16", "step", _make_step_ulysses(16), repeats=(3, 2)),
     BenchCase("step_fpdt_offload_w16", "step", _make_step_fpdt_offload(16), repeats=(2, 1)),
+    # 2D sequence parallelism: row all-to-alls plus a ring fold across
+    # rows per block — two collective layers per step where the flat
+    # strategies have one, so its serial baseline gates both the mesh
+    # grouping overhead and the ring-travel copies.
+    BenchCase("step_usp", "step", _make_step_usp(4, 2, 2), repeats=(5, 3)),
+    BenchCase("step_usp_w8", "step", _make_step_usp(8, 4, 2), repeats=(3, 2)),
 ]

@@ -132,6 +132,8 @@ def cmd_tune(args: argparse.Namespace) -> int:
     from repro.perfmodel import suggest_chunk_tokens
 
     cfg = _resolve_model(args)
+    if getattr(args, "layout", False):
+        return _tune_layout(args, cfg)
     choice = suggest_chunk_tokens(
         cfg, args.gpus, parse_tokens(args.seq), _node(args.gpu_kind)
     )
@@ -147,6 +149,35 @@ def cmd_tune(args: argparse.Namespace) -> int:
         status = f"MFU {m.mfu:.1%}" if m.fits else "OOM"
         marker = " <-- chosen" if chunk == choice.chunk_tokens else ""
         print(f"    {format_tokens(chunk):>6s}: {status}{marker}")
+    return 0
+
+
+def _tune_layout(args: argparse.Namespace, cfg) -> int:
+    """``repro tune --layout``: sweep (ulysses x ring x chunk x offload)."""
+    from repro.perfmodel import autotune_layout, layout_candidates
+
+    s_global = parse_tokens(args.seq)
+    choice = autotune_layout(cfg, args.gpus, s_global, _node(args.gpu_kind))
+    if choice is None:
+        print("no layout fits — reduce the sequence or add GPUs")
+        return 1
+    print(f"{args.model} @ {args.seq} on {args.gpus}x A100-{args.gpu_kind}:")
+    if choice.chunk_tokens is None:
+        print(f"  layout USP ulysses={choice.ulysses_degree} x "
+              f"ring={choice.ring_degree}, "
+              f"MFU {choice.metrics.mfu:.1%}, "
+              f"HBM {format_bytes(choice.metrics.memory.device_total)}")
+    else:
+        print(f"  layout FPDT (ulysses={choice.ulysses_degree}), chunk "
+              f"{format_tokens(choice.chunk_tokens)}"
+              f"{', offload' if choice.offload else ''}, "
+              f"MFU {choice.metrics.mfu:.1%}, "
+              f"HBM {format_bytes(choice.metrics.memory.device_total)}")
+    meshes = ", ".join(
+        f"{u}x{r}" for u, r in layout_candidates(args.gpus, cfg.num_heads)
+    )
+    print(f"  swept USP meshes (ulysses x ring): {meshes}; "
+          f"plus FPDT chunk pipeline with/without offload")
     return 0
 
 
@@ -639,6 +670,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune = sub.add_parser("tune", help="pick the FPDT chunk size (§5.3)")
     _add_hw_args(p_tune)
     p_tune.add_argument("--seq", default="512K", help="target sequence length")
+    p_tune.add_argument(
+        "--layout", action="store_true",
+        help="sweep the full 2D layout space (USP ulysses x ring meshes "
+             "plus the FPDT chunk pipeline) instead of just the chunk size",
+    )
     p_tune.set_defaults(fn=cmd_tune)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")

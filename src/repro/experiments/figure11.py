@@ -20,6 +20,7 @@ from repro.perfmodel import (
     MEGATRON_SP,
     ULYSSES,
     step_metrics,
+    usp_strategy,
 )
 
 # (model, world, node factory) per the paper's §5.2 layout.
@@ -48,8 +49,13 @@ def sweep_model(
 ) -> dict[str, list[tuple[int, float | None]]]:
     """Per strategy: [(s, mfu-or-None)] — None marks the OOM point."""
     lengths = lengths or SWEEP
+    strategies = list(STRATEGIES)
+    if world > 1 and cfg.num_heads % (world // 2) == 0:
+        # A 2D USP point (half Ulysses, ring of 2): the head-count
+        # pressure valve flat Ulysses lacks once world > num_heads.
+        strategies.append(usp_strategy(world // 2, 2))
     out: dict[str, list[tuple[int, float | None]]] = {}
-    for strat in STRATEGIES:
+    for strat in strategies:
         series: list[tuple[int, float | None]] = []
         for s in lengths:
             if s % world != 0:

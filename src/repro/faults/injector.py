@@ -49,14 +49,20 @@ class FaultInjector:
 
     # -- runtime hooks ------------------------------------------------------
 
-    def before_collective(self, cluster, label: str) -> None:
-        """Called by every collective right before its data movement."""
+    def before_collective(self, cluster, label: str, group=None) -> None:
+        """Called by every collective right before its data movement.
+        ``group`` (a :class:`~repro.parallel.mesh.ProcessGroup`, when the
+        caller is group-scoped) restricts straggler/spike victims to the
+        participating ranks; for the world group the draw is identical
+        to the ungrouped one, so existing plans do not move."""
         index = self._op_index["collective"]
         self._op_index["collective"] = index + 1
         self._transient(cluster, "collective", label, index, rank=-1)
-        world = cluster.world_size
+        world = cluster.world_size if group is None else group.size
         victim = self.plan.straggler_for(index, world)
         if victim is not None:
+            if group is not None:
+                victim = group.ranks[victim]
             self.faults_injected["straggler"] += 1
             cluster.trace.record(
                 "fault", f"straggler:{label}", rank=victim, stream="fault"
@@ -66,6 +72,8 @@ class FaultInjector:
             )
         victim = self.plan.spike_for(index, world)
         if victim is not None:
+            if group is not None:
+                victim = group.ranks[victim]
             self.faults_injected["hbm_spike"] += 1
             cluster.trace.record(
                 "fault", f"hbm_spike:{label}", rank=victim, stream="fault",

@@ -11,12 +11,19 @@ movement and the same block kernels as the reference model:
   blockwise attention with rotating KV blocks.
 * :mod:`repro.parallel.zero`        — ZeRO-1/2/3 sharded optimizer states,
   gradients and parameters (Rajbhandari et al., 2020).
+* :mod:`repro.parallel.usp`         — USP (Fang & Zhao, 2024): 2D
+  Ulysses × Ring composition on a :class:`~repro.parallel.mesh.DeviceMesh`.
+
+:mod:`repro.parallel.mesh` provides the :class:`ProcessGroup` /
+:class:`DeviceMesh` layer the group-scoped collectives build on.
 """
 
+from repro.parallel.mesh import DeviceMesh, ProcessGroup, world_group
 from repro.parallel.ulysses import (
     UlyssesBlockContext,
     ulysses_block_backward,
     ulysses_block_forward,
+    validate_ulysses_heads,
 )
 from repro.parallel.megatron_sp import (
     MegatronBlockContext,
@@ -35,10 +42,26 @@ from repro.parallel.grad_reduce import bucketed_grad_allreduce, fused_grad_allre
 from repro.parallel.ulysses_model import UlyssesModelRunner
 from repro.parallel.megatron_model import MegatronModelRunner
 from repro.parallel.model_runner import ContiguousShardRunner, RingModelRunner
+from repro.parallel.usp import (
+    USPBlockContext,
+    USPModelRunner,
+    seq_parallel_mesh,
+    usp_block_backward,
+    usp_block_forward,
+)
 
 __all__ = [
     "ContiguousShardRunner",
+    "DeviceMesh",
+    "ProcessGroup",
+    "world_group",
     "RingModelRunner",
+    "USPModelRunner",
+    "USPBlockContext",
+    "seq_parallel_mesh",
+    "usp_block_forward",
+    "usp_block_backward",
+    "validate_ulysses_heads",
     "MegatronModelRunner",
     "Zero3ParamStore",
     "gathered_params",

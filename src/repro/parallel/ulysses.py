@@ -38,10 +38,24 @@ from repro.models.attention import (
     online_attention_forward,
 )
 from repro.models.config import ModelConfig
+from repro.parallel.mesh import world_group
 from repro.runtime.collectives import all_to_all
 from repro.runtime.device import VirtualCluster, as_device_tensors, free_all
 
 ACT_DTYPE = DType.BF16
+
+
+def validate_ulysses_heads(cfg: ModelConfig, group) -> None:
+    """Ulysses scatters heads across its sequence-parallel *group* — the
+    head count must divide by the group size, not the flat world (under
+    a 2D mesh the Ulysses axis is one mesh row).  The error names the
+    axis so a world-8 / ulysses-4 run complains about 4 ranks, not 8."""
+    if cfg.num_heads % group.size != 0:
+        axis = group.name or "world"
+        raise ValueError(
+            f"Ulysses needs num_heads ({cfg.num_heads}) divisible by the "
+            f"sequence-parallel group size ({group.size}, axis {axis!r})"
+        )
 
 
 def _positions(world: int, rank: int, s_local: int) -> np.ndarray:
@@ -78,10 +92,7 @@ def ulysses_block_forward(
     :func:`ulysses_block_backward`.
     """
     world = cluster.world_size
-    if cfg.num_heads % world != 0:
-        raise ValueError(
-            f"Ulysses needs num_heads ({cfg.num_heads}) divisible by world size ({world})"
-        )
+    validate_ulysses_heads(cfg, world_group(cluster))
     s_local = x_shards[0].shape[1]
 
     # Phase 1 (token-local): norm + QKV projection (+RoPE, +GQA expand).

@@ -29,6 +29,7 @@ from repro.perfmodel.strategies import (
     STRATEGY_ZOO,
     ULYSSES,
     TrainingStrategy,
+    usp_strategy,
 )
 from repro.perfmodel.memory_model import (
     MemoryBreakdown,
@@ -51,8 +52,11 @@ from repro.perfmodel.pipeline_sim import (
 from repro.perfmodel.capacity import max_context_length, step_metrics
 from repro.perfmodel.tuning import (
     ChunkChoice,
+    LayoutChoice,
     StrategyChoice,
+    autotune_layout,
     autotune_strategy,
+    layout_candidates,
     suggest_chunk_tokens,
 )
 from repro.perfmodel.planning import TrainingPlan, plan_training
@@ -61,9 +65,13 @@ __all__ = [
     "TrainingPlan",
     "plan_training",
     "ChunkChoice",
+    "LayoutChoice",
     "StrategyChoice",
     "suggest_chunk_tokens",
     "autotune_strategy",
+    "autotune_layout",
+    "layout_candidates",
+    "usp_strategy",
     "Calibration",
     "CALIBRATION",
     "attention_flops",

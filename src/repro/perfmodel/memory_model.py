@@ -40,6 +40,7 @@ F32 = DType.FP32.nbytes
 # q, k, v, o, do, dq, dk, dv (8Nd).
 TP_REPLICATED_ACT = 4          # LN ins/outs + residuals replicated under TP
 ULYSSES_ATTN_WS = 14           # 6 (qkv send+recv) + 8 (attention backward)
+RING_TRAVEL_WS = 4             # traveling k, v + dk, dv accumulators (USP ring)
 FPDT_ATTN_WS = 11              # current qkv + double-buffered kv + dkv acc + do
 NO_AC_ACT_HIDDEN = 4           # hiddens saved per layer per token without AC
 NO_AC_ACT_FFN = 1              # FFN-width tensors saved per layer per token
@@ -165,6 +166,19 @@ def estimate_memory(
     elif strategy.parallelism == "ulysses":
         working = b * s_local * ACT * (ULYSSES_ATTN_WS * h + 2 * f)
         host_qkv = 0
+    elif strategy.parallelism == "usp":
+        # Per-rank attention volume equals Ulysses (seg * h/U == s_local
+        # * h); the working-set multiplier drops the all-to-all
+        # send+recv pair at ulysses_degree 1 and adds the traveling
+        # (k, v, dk, dv) ring buffers past ring_degree 1.
+        u_deg, r_deg = strategy.ulysses_degree, strategy.ring_degree
+        if u_deg * r_deg != world:
+            raise ValueError(
+                f"usp degrees ({u_deg}, {r_deg}) do not factor world {world}"
+            )
+        ws_units = 8 + (6 if u_deg > 1 else 0) + (RING_TRAVEL_WS if r_deg > 1 else 0)
+        working = b * s_local * ACT * (ws_units * h + 2 * f)
+        host_qkv = 0
     else:  # fpdt
         u = strategy.num_chunks(s_global)
         chunk_global = min(s_global, strategy.chunk_tokens)  # gathered tokens
@@ -182,7 +196,7 @@ def estimate_memory(
     # on a fused/streamed slice); only FPDT token-chunks the head (§5.4).
     if strategy.parallelism == "tp":
         loss = 2 * b * s_global * (v // world) * ACT  # vocab-parallel head
-    elif strategy.parallelism == "ulysses":
+    elif strategy.parallelism in ("ulysses", "usp"):
         loss = 2 * b * s_local * v * ACT
     else:
         chunks = suggested_loss_chunks(v, h)

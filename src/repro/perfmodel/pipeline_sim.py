@@ -308,7 +308,8 @@ def _baseline_layer_times(
     batch: int,
     calib: Calibration,
 ) -> tuple[float, float]:
-    """(forward, backward) per-layer seconds for Megatron-SP / Ulysses.
+    """(forward, backward) per-layer seconds for Megatron-SP / Ulysses /
+    USP.
 
     Compute is head/width-split across ranks; the collectives are the
     exposed (non-overlapped) phase boundaries of each scheme.
@@ -324,11 +325,45 @@ def _baseline_layer_times(
     if strategy.parallelism == "tp":
         hidden_bytes = batch * s_global * cfg.hidden_size * ACT
         t_comm = 4 * collective_latency(cluster, hidden_bytes, kind="all_gather", calib=calib)
+        t_comm_fwd = t_comm_bwd = t_comm
+    elif strategy.parallelism == "usp":
+        u_deg, r_deg = strategy.ulysses_degree, strategy.ring_degree
+        if u_deg * r_deg != world:
+            raise ValueError(
+                f"usp degrees ({u_deg}, {r_deg}) do not factor world {world}"
+            )
+        per_rank = batch * (s_global // world) * cfg.hidden_size * ACT
+        # Row all-to-alls run among u_deg contiguous ranks (node-local
+        # whenever u_deg <= gpus_per_node); same 4-exchange volume as
+        # flat Ulysses but over the smaller group.
+        if u_deg > 1:
+            row = make_cluster(cluster.node, u_deg)
+            t_row = 4 * hierarchical_alltoall_latency(row, per_rank, calib=calib)
+        else:
+            t_row = 0.0
+        # Ring hops cross rows — ranks a stride of u_deg apart, so the
+        # bottleneck link of the first column prices one rotation.  The
+        # forward rotates (k, v) for r_deg-1 steps; the backward rotates
+        # (k, v, dk, dv) for the full cycle.
+        if r_deg > 1:
+            column = list(range(0, world, u_deg))
+            link = cluster.collective_bottleneck(column)
+            eff = (
+                calib.nccl_intra_efficiency
+                if link is cluster.node.nvlink
+                else calib.nccl_inter_efficiency
+            )
+            hop = link.transfer_time(per_rank, efficiency=eff)
+        else:
+            hop = 0.0
+        t_comm_fwd = t_row + 2 * (r_deg - 1) * hop
+        t_comm_bwd = t_row + 4 * r_deg * hop
     else:  # ulysses
         per_rank = batch * (s_global // world) * cfg.hidden_size * ACT
         t_comm = 4 * hierarchical_alltoall_latency(cluster, per_rank, calib=calib)
-    fwd = t_lin + t_attn + t_comm
-    bwd = 2 * t_lin + 2.5 * t_attn + t_comm
+        t_comm_fwd = t_comm_bwd = t_comm
+    fwd = t_lin + t_attn + t_comm_fwd
+    bwd = 2 * t_lin + 2.5 * t_attn + t_comm_bwd
     return fwd, bwd
 
 

@@ -14,7 +14,7 @@ from dataclasses import dataclass, replace
 
 from repro.common.units import parse_tokens
 
-PARALLELISM = ("tp", "ulysses", "fpdt")
+PARALLELISM = ("tp", "ulysses", "fpdt", "usp")
 
 
 @dataclass(frozen=True)
@@ -45,6 +45,10 @@ class TrainingStrategy:
         TP only: True = Megatron-SP (saved activations sharded along the
         sequence, the Fig. 11 baseline); False = plain tensor parallel
         (activations replicated on every rank — Table 3's "TP." rows).
+    ulysses_degree / ring_degree:
+        USP only: the 2D mesh factorization ``world = ulysses * ring``
+        (Ulysses head-scatter inside mesh rows, Ring attention across
+        rows).  ``None`` everywhere else.
     """
 
     name: str
@@ -55,6 +59,8 @@ class TrainingStrategy:
     chunk_tokens: int | None = None
     offload: bool = False
     sequence_parallel: bool = True
+    ulysses_degree: int | None = None
+    ring_degree: int | None = None
 
     def __post_init__(self) -> None:
         if self.parallelism not in PARALLELISM:
@@ -68,6 +74,14 @@ class TrainingStrategy:
             raise ValueError("chunk_tokens is an FPDT-only knob")
         if self.offload and self.parallelism != "fpdt":
             raise ValueError("offload is an FPDT-only knob")
+        if self.parallelism == "usp":
+            if (
+                self.ulysses_degree is None or self.ulysses_degree < 1
+                or self.ring_degree is None or self.ring_degree < 1
+            ):
+                raise ValueError("usp needs ulysses_degree and ring_degree >= 1")
+        elif self.ulysses_degree is not None or self.ring_degree is not None:
+            raise ValueError("ulysses_degree/ring_degree are USP-only knobs")
 
     @property
     def is_fpdt(self) -> bool:
@@ -105,6 +119,17 @@ FPDT_FULL = TrainingStrategy(
     activation_checkpoint=True, checkpoint_offload=True,
     chunk_tokens=parse_tokens("64K"), offload=True,
 )
+
+
+def usp_strategy(ulysses: int, ring: int) -> TrainingStrategy:
+    """A USP (2D Ulysses × Ring) strategy for ``world = ulysses * ring``
+    ranks; degenerate degrees reduce to the flat layouts."""
+    return TrainingStrategy(
+        name=f"USP {ulysses}x{ring}", parallelism="usp", zero_stage=3,
+        activation_checkpoint=True, checkpoint_offload=True,
+        ulysses_degree=int(ulysses), ring_degree=int(ring),
+    )
+
 
 STRATEGY_ZOO: dict[str, TrainingStrategy] = {
     s.name: s for s in (MEGATRON_SP, ULYSSES, FPDT_CHUNKED, FPDT_FULL)

@@ -1,13 +1,22 @@
 """NCCL-style collectives over per-rank NumPy tensors.
 
 Every collective takes a :class:`~repro.runtime.device.VirtualCluster`
-and one :class:`DeviceTensor` per rank, allocates *receive buffers on the
-destination pools before freeing the inputs* — collectives are not
-in-place, the very fact Table 2 of the paper charges as the "All2all"
-footprint — moves real data, records the traffic in the trace, and
-returns per-rank results.
+and one :class:`DeviceTensor` per participating rank, allocates *receive
+buffers on the destination pools before freeing the inputs* —
+collectives are not in-place, the very fact Table 2 of the paper charges
+as the "All2all" footprint — moves real data, records the traffic in the
+trace, and returns per-rank results.
 
-Payload accounting follows the standard bus-traffic formulas: for world
+Collectives are **group-scoped**: the ``group=`` argument (a
+:class:`~repro.parallel.mesh.ProcessGroup`) restricts the exchange to an
+ordered rank subset with its own tag namespace, which is how the 2D
+sequence-parallel mesh of :mod:`repro.parallel.usp` runs Ulysses inside
+mesh rows and Ring across mesh columns.  The default resolves to the
+cached world group, whose empty tag namespace and full-world payload
+formulas keep the ungrouped behavior bitwise identical — trace labels,
+byte counts and fault-plan draws do not move.
+
+Payload accounting follows the standard bus-traffic formulas: for group
 size ``P`` and per-rank tensor size ``M`` bytes, all-to-all and
 all-gather/reduce-scatter move ``M * (P-1) / P`` per rank.
 
@@ -28,27 +37,52 @@ recycled when arena-owned); callers that keep an array claim it with
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.common.errors import ShapeError
 from repro.runtime.device import VirtualCluster
 from repro.runtime.tensor import DeviceTensor
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parallel -> runtime)
+    from repro.parallel.mesh import ProcessGroup
 
-def _inject(cluster: VirtualCluster, label: str) -> None:
+
+def _resolve_group(cluster: VirtualCluster, group) -> "ProcessGroup":
+    """Default ``group=None`` to the cluster's world group (lazy import:
+    :mod:`repro.parallel.mesh` sits above the runtime package)."""
+    if group is None:
+        from repro.parallel.mesh import world_group
+
+        return world_group(cluster)
+    if group.cluster is not cluster:
+        raise ValueError(
+            f"group {group.name or 'world'!r} belongs to a different cluster"
+        )
+    return group
+
+
+def _inject(cluster: VirtualCluster, label: str, group) -> None:
     """Fault-injection hook: when a :class:`~repro.faults.FaultInjector`
     is attached to the cluster, let it fail/straggle/spike this
     collective before any data moves.  Duck-typed so the runtime never
-    imports :mod:`repro.faults`; a plain cluster pays one ``getattr``."""
+    imports :mod:`repro.faults`; a plain cluster pays one ``getattr``.
+
+    ``label`` is the *injection key*: both routes of a logical operation
+    (e.g. flat and hierarchical all-to-all) must pass the same key so a
+    seeded plan keeps firing when topology changes; ``group`` scopes
+    straggler/spike victims to the participating ranks.
+    """
     injector = getattr(cluster, "fault_injector", None)
     if injector is not None:
-        injector.before_collective(cluster, label)
+        injector.before_collective(cluster, label, group=group)
 
 
-def _validate(cluster: VirtualCluster, tensors: list[DeviceTensor]) -> None:
-    if len(tensors) != cluster.world_size:
+def _validate(group, tensors: list[DeviceTensor]) -> None:
+    if len(tensors) != group.size:
         raise ShapeError(
-            f"expected {cluster.world_size} per-rank tensors, got {len(tensors)}"
+            f"expected {group.size} per-rank tensors, got {len(tensors)}"
         )
     shapes = {t.shape for t in tensors}
     if len(shapes) != 1:
@@ -61,7 +95,7 @@ def _validate(cluster: VirtualCluster, tensors: list[DeviceTensor]) -> None:
 def _wire_bytes(per_rank_nbytes: int, world: int) -> int:
     """Per-rank bus traffic of a1a/ag/rs collectives.
 
-    Rounded *up*: when the payload is not divisible by the world size the
+    Rounded *up*: when the payload is not divisible by the group size the
     peer slices are padded to whole elements, so flooring would silently
     undercount bus traffic.
     """
@@ -80,18 +114,19 @@ def _release_inputs(tensors: list[DeviceTensor]) -> None:
 
 
 def _exchange(
-    cluster: VirtualCluster,
+    group,
     tensors: list[DeviceTensor],
     *,
     split_axis: int,
     concat_axis: int,
     tag: str,
 ) -> list[DeviceTensor]:
-    """The all-to-all data movement: rank ``dst``'s output concatenates,
-    along ``concat_axis``, the ``dst``-th split-axis slice of every rank
-    (source order).  Each slice is written straight into the receive
-    buffer — one strided copy per (src, dst) pair and nothing else."""
-    world = cluster.world_size
+    """The all-to-all data movement: group rank ``dst``'s output
+    concatenates, along ``concat_axis``, the ``dst``-th split-axis slice
+    of every member (group order).  Each slice is written straight into
+    the receive buffer — one strided copy per (src, dst) pair and
+    nothing else."""
+    world = group.size
     data0 = tensors[0].data
     ndim = data0.ndim
     part = data0.shape[split_axis] // world
@@ -102,7 +137,7 @@ def _exchange(
     out_shape = tuple(out_shape)
     outputs: list[DeviceTensor] = []
     for dst in range(world):
-        out = cluster.devices[dst].rent(out_shape, data0.dtype, tensors[dst].dtype, tag)
+        out = group.device(dst).rent(out_shape, data0.dtype, tensors[dst].dtype, tag)
         src_index = _axis_slice(ndim, split_axis, dst * part, (dst + 1) * part)
         for src in range(world):
             np.copyto(
@@ -121,40 +156,49 @@ def all_to_all(
     concat_axis: int,
     tag: str = "all2all",
     free_input: bool = True,
+    group: "ProcessGroup | None" = None,
 ) -> list[DeviceTensor]:
     """The Ulysses collective: split every rank's tensor into ``P`` parts
     along ``split_axis``; rank ``r`` receives part ``r`` from every rank
     and concatenates the parts along ``concat_axis`` (source-rank order).
 
     For the forward head-scatter/sequence-gather of Fig. 2:
-    ``[b, s_local, h, d] --(split heads, concat seq)--> [b, s_global,
+    ``[b, s_local, H, d] --(split heads, concat seq)--> [b, s_global,
     h_local, d]``.  The inverse uses swapped axes.
 
     When the cluster carries a multi-node :class:`~repro.hardware
-    .topology.ClusterSpec`, the exchange automatically routes through
-    :func:`hierarchical_all_to_all` (intra-node staging, node-aggregated
-    inter-node messages), as the DeepSpeed implementation does.
+    .topology.ClusterSpec` and the exchange spans the full world, it
+    automatically routes through :func:`hierarchical_all_to_all`
+    (intra-node staging, node-aggregated inter-node messages), as the
+    DeepSpeed implementation does.  Sub-world groups always exchange
+    flat: a mesh row is assumed node-local.
     """
-    if cluster.spec is not None and cluster.spec.num_nodes > 1:
+    group = _resolve_group(cluster, group)
+    if (
+        cluster.spec is not None
+        and cluster.spec.num_nodes > 1
+        and group.is_world
+    ):
         return hierarchical_all_to_all(
             cluster, tensors, split_axis=split_axis, concat_axis=concat_axis,
             gpus_per_node=cluster.spec.node.gpus_per_node,
-            tag=tag, free_input=free_input,
+            tag=tag, free_input=free_input, group=group,
         )
-    _validate(cluster, tensors)
-    world = cluster.world_size
+    _validate(group, tensors)
+    world = group.size
     shape = tensors[0].shape
     if shape[split_axis] % world != 0:
         raise ShapeError(
             f"split axis {split_axis} size {shape[split_axis]} not divisible by {world}"
         )
-    _inject(cluster, f"all_to_all:{tag}")
+    gtag = group.tag(tag)
+    _inject(cluster, f"all_to_all:{gtag}", group)
     outputs = _exchange(
-        cluster, tensors, split_axis=split_axis, concat_axis=concat_axis, tag=tag
+        group, tensors, split_axis=split_axis, concat_axis=concat_axis, tag=tag
     )
     cluster.trace.record(
         "collective",
-        f"all_to_all:{tag}",
+        f"all_to_all:{gtag}",
         nbytes=_wire_bytes(tensors[0].nbytes, world),
     )
     if free_input:
@@ -169,6 +213,7 @@ def all_gather(
     axis: int,
     tag: str = "allgather",
     free_input: bool = True,
+    group: "ProcessGroup | None" = None,
 ) -> list[DeviceTensor]:
     """Every rank receives the concatenation of all ranks' tensors along
     ``axis`` — Megatron-SP's sequence gather before attention.
@@ -177,9 +222,11 @@ def all_gather(
     buffer (one copy per (src, dst) pair); there is no staging
     concatenation that then gets ``.copy()``-d per destination.
     """
-    _validate(cluster, tensors)
-    _inject(cluster, f"all_gather:{tag}")
-    world = cluster.world_size
+    group = _resolve_group(cluster, group)
+    _validate(group, tensors)
+    gtag = group.tag(tag)
+    _inject(cluster, f"all_gather:{gtag}", group)
+    world = group.size
     data0 = tensors[0].data
     ndim = data0.ndim
     seg = data0.shape[axis]
@@ -188,7 +235,7 @@ def all_gather(
     out_shape = tuple(out_shape)
     outputs: list[DeviceTensor] = []
     for dst in range(world):
-        out = cluster.devices[dst].rent(out_shape, data0.dtype, tensors[dst].dtype, tag)
+        out = group.device(dst).rent(out_shape, data0.dtype, tensors[dst].dtype, tag)
         for src in range(world):
             np.copyto(
                 out.data[_axis_slice(ndim, axis, src * seg, (src + 1) * seg)],
@@ -197,7 +244,7 @@ def all_gather(
         outputs.append(out)
     cluster.trace.record(
         "collective",
-        f"all_gather:{tag}",
+        f"all_gather:{gtag}",
         nbytes=_wire_bytes(tensors[0].nbytes * world, world),
     )
     if free_input:
@@ -212,18 +259,21 @@ def reduce_scatter(
     axis: int,
     tag: str = "reducescatter",
     free_input: bool = True,
+    group: "ProcessGroup | None" = None,
 ) -> list[DeviceTensor]:
     """Element-wise sum over ranks, scattered along ``axis`` — the
     inverse of all-gather, used by Megatron-SP after attention and by
     ZeRO-2/3 gradient sharding.
 
     Each destination shard accumulates rank-by-rank directly in its
-    receive buffer (a left fold, which for world sizes <= 8 is exactly
+    receive buffer (a left fold, which for group sizes <= 8 is exactly
     NumPy's ``np.sum`` reduction order); no stacked temporary.
     """
-    _validate(cluster, tensors)
-    _inject(cluster, f"reduce_scatter:{tag}")
-    world = cluster.world_size
+    group = _resolve_group(cluster, group)
+    _validate(group, tensors)
+    gtag = group.tag(tag)
+    _inject(cluster, f"reduce_scatter:{gtag}", group)
+    world = group.size
     data0 = tensors[0].data
     if data0.shape[axis] % world != 0:
         raise ShapeError(
@@ -236,7 +286,7 @@ def reduce_scatter(
     out_shape = tuple(out_shape)
     outputs: list[DeviceTensor] = []
     for dst in range(world):
-        out = cluster.devices[dst].rent(out_shape, data0.dtype, tensors[dst].dtype, tag)
+        out = group.device(dst).rent(out_shape, data0.dtype, tensors[dst].dtype, tag)
         shard = _axis_slice(ndim, axis, dst * seg, (dst + 1) * seg)
         np.copyto(out.data, tensors[0].data[shard])
         for src in range(1, world):
@@ -244,7 +294,7 @@ def reduce_scatter(
         outputs.append(out)
     cluster.trace.record(
         "collective",
-        f"reduce_scatter:{tag}",
+        f"reduce_scatter:{gtag}",
         nbytes=_wire_bytes(tensors[0].nbytes, world),
     )
     if free_input:
@@ -258,21 +308,25 @@ def all_reduce(
     *,
     tag: str = "allreduce",
     free_input: bool = True,
+    group: "ProcessGroup | None" = None,
 ) -> list[DeviceTensor]:
     """Element-wise sum, result replicated on every rank (gradient sync
     of plain data parallelism / ZeRO-1).
 
-    The sum materializes once, in rank 0's receive buffer (left fold,
-    == ``np.sum`` order for world sizes <= 8); the other ranks copy that
-    single materialization instead of each re-copying a shared temporary.
+    The sum materializes once, in the first member's receive buffer
+    (left fold, == ``np.sum`` order for group sizes <= 8); the other
+    ranks copy that single materialization instead of each re-copying a
+    shared temporary.
     """
-    _validate(cluster, tensors)
-    _inject(cluster, f"all_reduce:{tag}")
-    world = cluster.world_size
+    group = _resolve_group(cluster, group)
+    _validate(group, tensors)
+    gtag = group.tag(tag)
+    _inject(cluster, f"all_reduce:{gtag}", group)
+    world = group.size
     data0 = tensors[0].data
     outputs: list[DeviceTensor] = []
     for dst in range(world):
-        out = cluster.devices[dst].rent(
+        out = group.device(dst).rent(
             data0.shape, data0.dtype, tensors[dst].dtype, tag
         )
         if dst == 0:
@@ -284,7 +338,7 @@ def all_reduce(
         outputs.append(out)
     cluster.trace.record(
         "collective",
-        f"all_reduce:{tag}",
+        f"all_reduce:{gtag}",
         nbytes=2 * _wire_bytes(tensors[0].nbytes, world),
     )
     if free_input:
@@ -298,19 +352,24 @@ def broadcast(
     *,
     root: int,
     tag: str = "broadcast",
+    group: "ProcessGroup | None" = None,
 ) -> list[DeviceTensor]:
-    """Replicate ``root``'s tensor to every rank (parameter init, ZeRO-3
-    parameter gather is modeled with all_gather instead)."""
-    _inject(cluster, f"broadcast:{tag}")
+    """Replicate ``root``'s tensor to every group member (parameter
+    init; ZeRO-3 parameter gather is modeled with all_gather instead).
+    ``root`` is a *group* rank — with the default world group that is
+    the global rank, exactly as before."""
+    group = _resolve_group(cluster, group)
+    gtag = group.tag(tag)
+    _inject(cluster, f"broadcast:{gtag}", group)
     outputs: list[DeviceTensor] = []
-    for dev in cluster.devices:
-        if dev.rank == root:
+    for pos, dev in enumerate(group.devices):
+        if pos == root:
             outputs.append(tensor)
             continue
         out = dev.rent(tensor.data.shape, tensor.data.dtype, tensor.dtype, tag)
         np.copyto(out.data, tensor.data)
         outputs.append(out)
-    cluster.trace.record("collective", f"broadcast:{tag}", nbytes=tensor.nbytes)
+    cluster.trace.record("collective", f"broadcast:{gtag}", nbytes=tensor.nbytes)
     return outputs
 
 
@@ -323,6 +382,7 @@ def hierarchical_all_to_all(
     gpus_per_node: int,
     tag: str = "h-all2all",
     free_input: bool = True,
+    group: "ProcessGroup | None" = None,
 ) -> list[DeviceTensor]:
     """Two-stage all-to-all for multi-node groups.
 
@@ -339,19 +399,23 @@ def hierarchical_all_to_all(
     final local reshuffle restores the destination layout.  Numerically
     this must equal :func:`all_to_all` exactly, which the tests assert;
     the trace records the intra- and inter-node stages separately so the
-    perf model can cost them on the right links.
+    perf model can cost them on the right links.  The fault-injection
+    key is ``all_to_all:{tag}`` — the *same* key the flat route uses, so
+    a seeded plan targeting the logical op keeps firing when the
+    topology routes it hierarchically (the trace labels stay distinct).
     """
-    world = cluster.world_size
+    group = _resolve_group(cluster, group)
+    world = group.size
     if world % gpus_per_node != 0:
         raise ShapeError(
             f"world {world} not divisible by gpus_per_node {gpus_per_node}"
         )
-    _validate(cluster, tensors)
+    _validate(group, tensors)
     num_nodes = world // gpus_per_node
     if num_nodes == 1:
         return all_to_all(
             cluster, tensors, split_axis=split_axis, concat_axis=concat_axis,
-            tag=tag, free_input=free_input,
+            tag=tag, free_input=free_input, group=group,
         )
     shape = tensors[0].shape
     if shape[split_axis] % world != 0:
@@ -359,20 +423,21 @@ def hierarchical_all_to_all(
             f"split axis {split_axis} size {shape[split_axis]} not divisible by {world}"
         )
     per_piece = tensors[0].nbytes // world  # storage bytes per piece
-    _inject(cluster, f"hierarchical_all_to_all:{tag}")
+    gtag = group.tag(tag)
+    _inject(cluster, f"all_to_all:{gtag}", group)
 
     # Stage 1 (intra-node, NVLink): within each node, rank l collects the
     # pieces every local rank holds for remote-node-offset ... -> each
     # sender aggregates node-contiguous data.
     intra_bytes = per_piece * (gpus_per_node - 1) * num_nodes
-    cluster.trace.record("collective", f"all_to_all_intra:{tag}", nbytes=int(intra_bytes))
+    cluster.trace.record("collective", f"all_to_all_intra:{gtag}", nbytes=int(intra_bytes))
     # Stage 2 (inter-node, IB): one aggregated exchange per node pair.
     inter_bytes = per_piece * gpus_per_node * (num_nodes - 1)
-    cluster.trace.record("collective", f"all_to_all_inter:{tag}", nbytes=int(inter_bytes))
+    cluster.trace.record("collective", f"all_to_all_inter:{gtag}", nbytes=int(inter_bytes))
 
     # The data movement itself (exact, layout identical to flat a2a).
     outputs = _exchange(
-        cluster, tensors, split_axis=split_axis, concat_axis=concat_axis, tag=tag
+        group, tensors, split_axis=split_axis, concat_axis=concat_axis, tag=tag
     )
     if free_input:
         _release_inputs(tensors)
@@ -386,21 +451,24 @@ def ring_shift(
     shift: int = 1,
     tag: str = "ring",
     free_input: bool = True,
+    group: "ProcessGroup | None" = None,
 ) -> list[DeviceTensor]:
-    """Send each rank's tensor to ``(rank + shift) % P`` — the KV rotation
-    step of Ring Attention.  One call is one ring step, one copy per rank
-    (source array straight into the receive buffer)."""
-    _validate(cluster, tensors)
-    _inject(cluster, f"ring_shift:{tag}")
-    world = cluster.world_size
+    """Send each member's tensor to group rank ``(pos + shift) % P`` —
+    the KV rotation step of Ring Attention.  One call is one ring step,
+    one copy per rank (source array straight into the receive buffer)."""
+    group = _resolve_group(cluster, group)
+    _validate(group, tensors)
+    gtag = group.tag(tag)
+    _inject(cluster, f"ring_shift:{gtag}", group)
+    world = group.size
     outputs: list[DeviceTensor | None] = [None] * world
     for src in range(world):
         dst = (src + shift) % world
         data = tensors[src].data
-        out = cluster.devices[dst].rent(data.shape, data.dtype, tensors[src].dtype, tag)
+        out = group.device(dst).rent(data.shape, data.dtype, tensors[src].dtype, tag)
         np.copyto(out.data, data)
         outputs[dst] = out
-    cluster.trace.record("collective", f"ring_shift:{tag}", nbytes=tensors[0].nbytes)
+    cluster.trace.record("collective", f"ring_shift:{gtag}", nbytes=tensors[0].nbytes)
     if free_input:
         _release_inputs(tensors)
     return outputs  # type: ignore[return-value]

@@ -30,6 +30,7 @@ from repro.parallel import (
     MegatronModelRunner,
     RingModelRunner,
     UlyssesModelRunner,
+    USPModelRunner,
     ZeroAdam,
 )
 from repro.runtime import VirtualCluster
@@ -96,6 +97,10 @@ STRATEGIES = {
     "fpdt_offload": (
         _llama,
         lambda m, c: FPDTModelRunner(m, c, num_chunks=2, offload=True),
+    ),
+    "usp_2x2": (
+        _llama,
+        lambda m, c: USPModelRunner(m, c, seq_parallel=(2, 2)),
     ),
 }
 

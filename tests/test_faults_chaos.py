@@ -187,6 +187,95 @@ class TestFaultInjector:
         assert merged["crashes"] == 1
 
 
+class TestFaultKeyRouteParity:
+    """The injection key is the *logical* operation: a plan seeded
+    against ``all_to_all`` must keep firing when a multi-node topology
+    reroutes the exchange through the hierarchical two-stage path — the
+    chaos schedule is topology-invariant even though the trace labels
+    (``all_to_all_intra``/``_inter``) are not."""
+
+    def _exchange(self, cluster):
+        g = np.random.default_rng(0)
+        tensors = [
+            dev.from_numpy(g.normal(size=(1, 4, 16, 2)), DType.FP32, "x")
+            for dev in cluster.devices
+        ]
+        from repro.runtime.collectives import all_to_all
+
+        return all_to_all(cluster, tensors, split_axis=2, concat_axis=1)
+
+    def _fault_schedule(self, cluster):
+        return [
+            (e.kind, e.label, e.rank)
+            for e in cluster.trace.events
+            if e.kind in ("fault", "retry")
+        ]
+
+    def test_same_plan_fires_on_flat_and_hierarchical_routes(self):
+        from repro.hardware import make_cluster, paper_node_a100_80g
+
+        def run(spec):
+            cluster = VirtualCluster(8, spec=spec)
+            plan = FaultPlan(seed=4, collective_rate=1.0, max_failures_per_op=1,
+                             straggler_rate=1.0, hbm_spike_rate=0.5)
+            injector = FaultInjector(plan).attach(cluster)
+            outs = self._exchange(cluster)
+            data = [o.data.copy() for o in outs]
+            for o in outs:
+                o.free()
+            return cluster, injector, data
+
+        flat_cluster, flat_inj, flat_data = run(None)
+        spec = make_cluster(paper_node_a100_80g(), 8)  # 2 nodes
+        hier_cluster, hier_inj, hier_data = run(spec)
+
+        # The topology actually rerouted (and the flat run did not).
+        hier_labels = [e.label for e in hier_cluster.trace.filter(kind="collective")]
+        assert any("intra" in l for l in hier_labels)
+        assert not any(
+            "intra" in e.label for e in flat_cluster.trace.filter(kind="collective")
+        )
+        # Same schedule: identical fault/retry events (labels carry the
+        # unified ``all_to_all:`` key), identical victims, same stats.
+        flat_faults = self._fault_schedule(flat_cluster)
+        assert flat_faults == self._fault_schedule(hier_cluster)
+        assert all(":all_to_all:" in label for _, label, _ in flat_faults)
+        assert flat_inj.stats() == hier_inj.stats()
+        # Numerics invariance holds on both routes.
+        for a, b in zip(flat_data, hier_data):
+            np.testing.assert_array_equal(a, b)
+
+    def test_explicit_hierarchical_call_shares_the_key(self):
+        """Calling the two-stage collective directly with the flat tag
+        draws from the same per-op stream: first-op failure counts
+        match a flat first-op exactly."""
+        from repro.runtime.collectives import hierarchical_all_to_all
+
+        def first_op_faults(use_hier):
+            cluster = VirtualCluster(8)
+            plan = FaultPlan(seed=9, collective_rate=1.0, max_failures_per_op=2)
+            FaultInjector(plan).attach(cluster)
+            g = np.random.default_rng(1)
+            tensors = [
+                dev.from_numpy(g.normal(size=(1, 4, 16, 2)), DType.FP32, "x")
+                for dev in cluster.devices
+            ]
+            if use_hier:
+                outs = hierarchical_all_to_all(
+                    cluster, tensors, split_axis=2, concat_axis=1,
+                    gpus_per_node=4, tag="all2all",
+                )
+            else:
+                from repro.runtime.collectives import all_to_all
+
+                outs = all_to_all(cluster, tensors, split_axis=2, concat_axis=1)
+            for o in outs:
+                o.free()
+            return self._fault_schedule(cluster)
+
+        assert first_op_faults(True) == first_op_faults(False)
+
+
 def _faulty_trainer(seed=11, plan=None, telemetry=None):
     cfg = tiny_gpt(hidden_size=32, num_heads=4, num_layers=1, vocab_size=32)
     model = GPTModel(cfg, seed=seed)

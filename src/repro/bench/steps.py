@@ -119,6 +119,98 @@ def _make_step_fpdt_offload(world: int) -> Callable[[bool], Callable[[], None]]:
     return setup
 
 
+def _step_setup_small(world: int = STEP_WORLD):
+    # Deliberately *under*-sized: per-rank compute of a few hundred
+    # microseconds, so the per-section dispatch cost (fork+teardown on
+    # the process backend, task shipping on the pool) is the dominant
+    # term being measured.
+    from repro.models import GPTModel, tiny_llama
+
+    heads = max(4, world)
+    cfg = tiny_llama(
+        hidden_size=32, num_heads=heads, num_kv_heads=heads // 2, num_layers=2
+    )
+    model = GPTModel(cfg, seed=0)
+    rng = np.random.default_rng(0)
+    tokens = rng.integers(0, cfg.vocab_size, size=(1, 16))
+    labels = rng.integers(0, cfg.vocab_size, size=(1, 16))
+    return model, tokens, labels
+
+
+def _bench_step_ulysses_small(quick: bool) -> Callable[[], None]:
+    from repro.parallel import UlyssesModelRunner
+    from repro.runtime.device import VirtualCluster
+
+    model, tokens, labels = _step_setup_small()
+    runner = UlyssesModelRunner(model, VirtualCluster(STEP_WORLD))
+
+    def run() -> None:
+        runner.forward_backward(tokens, labels)
+
+    return run
+
+
+def _bench_step_fpdt_small(quick: bool) -> Callable[[], None]:
+    from repro.core import FPDTModelRunner
+    from repro.runtime.device import VirtualCluster
+
+    model, tokens, labels = _step_setup_small()
+    runner = FPDTModelRunner(
+        model, VirtualCluster(STEP_WORLD), num_chunks=2, offload=True
+    )
+
+    def run() -> None:
+        runner.forward_backward(tokens, labels)
+
+    return run
+
+
+def _bench_serve_decode_tick(quick: bool) -> Callable[[], None]:
+    """Decode-tick microbench: the serving engine's continuous-batching
+    inner step.  Each run admits a fresh 4-request batch against the
+    *same* engine (so resident pool workers stay warm across repeats,
+    exactly the serving steady state), prefills the short prompts, and
+    drives ``decode_batch`` ticks to completion — the per-tick
+    ``rank_map`` dispatch is the cost under test."""
+    import itertools
+
+    from repro.models import GPTModel, tiny_llama
+    from repro.serving.engine import EngineConfig, ServingEngine
+    from repro.serving.request import Request, RequestState
+
+    cfg = tiny_llama(hidden_size=32, num_heads=4, num_kv_heads=2, num_layers=2)
+    model = GPTModel(cfg, seed=0)
+    engine = ServingEngine(model, config=EngineConfig(offload=True))
+    rng = np.random.default_rng(0)
+    prompts = [rng.integers(0, cfg.vocab_size, size=8) for _ in range(4)]
+    serial = itertools.count()
+
+    def run() -> None:
+        batch_id = next(serial)
+        states = [
+            engine.start(
+                Request(
+                    rid=f"bench-{batch_id}-{i}",
+                    prompt=prompts[i],
+                    max_new_tokens=4,
+                    seed=i,
+                )
+            )
+            for i in range(4)
+        ]
+        for state in states:
+            while not engine.prefill_step(state):
+                pass
+        while any(s.state is RequestState.DECODE for s in states):
+            engine.decode_batch(
+                [s for s in states if s.state is RequestState.DECODE]
+            )
+        for state in states:
+            engine.finish(state)
+
+    return run
+
+
 STEP_CASES: list[BenchCase] = [
     BenchCase("step_reference", "step", _bench_step_reference, repeats=(10, 3)),
     BenchCase("step_ulysses", "step", _make_step_ulysses(4), repeats=(10, 3)),
@@ -136,4 +228,13 @@ STEP_CASES: list[BenchCase] = [
     # grouping overhead and the ring-travel copies.
     BenchCase("step_usp", "step", _make_step_usp(4, 2, 2), repeats=(5, 3)),
     BenchCase("step_usp_w8", "step", _make_step_usp(8, 4, 2), repeats=(3, 2)),
+    # Small-step cases: per-rank compute so light that per-section
+    # dispatch dominates — where the per-section-fork process backend
+    # loses to threads and the persistent pool wins it back.
+    BenchCase("step_ulysses_small", "step", _bench_step_ulysses_small,
+              repeats=(20, 5)),
+    BenchCase("step_fpdt_small", "step", _bench_step_fpdt_small,
+              repeats=(10, 3)),
+    BenchCase("serve_decode_tick", "step", _bench_serve_decode_tick,
+              repeats=(10, 3)),
 ]

@@ -74,9 +74,11 @@ def _add_workers_arg(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--executor", default=None, metavar="BACKEND",
-        choices=("serial", "threads", "process"),
-        help="rank-executor backend: serial, threads (default) or "
-             "process (fork-join worker processes over shared memory)",
+        choices=("serial", "threads", "process", "process-pool"),
+        help="rank-executor backend: serial, threads (default), "
+             "process (fork-join worker processes over shared memory) or "
+             "process-pool (persistent workers, tasks shipped over a "
+             "shared-memory rendezvous)",
     )
 
 

@@ -47,7 +47,8 @@ class ChunkCache:
             data, dtype, alloc = self._store[key]
             shuttle._JOURNAL.append(
                 ("cache_set", self._ipc_id, key, data, dtype,
-                 self.cluster.host.pool._ipc_id, alloc.alloc_id)
+                 self.cluster.host.pool._ipc_id, alloc.alloc_id,
+                 shuttle.installed_allocation(alloc))
             )
 
     def __len__(self) -> int:

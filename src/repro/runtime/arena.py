@@ -53,6 +53,7 @@ from repro.runtime import shuttle
 __all__ = [
     "BufferArena",
     "SharedArena",
+    "StageBuffer",
     "shared_segments",
     "fast_path_enabled",
     "set_fast_path",
@@ -129,6 +130,15 @@ class SharedArena:
         self._segments: dict[str, object] = {}  # name -> SharedMemory
         self._bases: dict[str, np.ndarray] = {}  # name -> uint8 view
         self._blocks: dict[int, tuple[str, int]] = {}  # address -> (name, size)
+        #: Names we created and have not unlinked: persistent-pool
+        #: rendezvous segments and (while ``persist_names`` is set)
+        #: shared rent buffers.  All unlinked by :meth:`unlink_named`
+        #: when the pool executor shuts down, and defensively at exit.
+        self._named: set[str] = set()
+        #: While True (persistent pool backend installed), parent-created
+        #: segments keep their names so pool workers forked *earlier* can
+        #: still attach them; the executor unlinks them all at shutdown.
+        self.persist_names = False
         self.created = 0
         self.adopted = 0
         self.created_bytes = 0
@@ -153,10 +163,16 @@ class SharedArena:
         else:
             name = f"{self.prefix}-{next(self._count)}"
         shm = shared_memory.SharedMemory(name=name, create=True, size=max(1, int(nbytes)))
+        if unlink and self.persist_names and not shuttle.in_child():
+            # Persistent-pool mode: keep the name so workers forked
+            # before this segment existed can attach it on demand.
+            unlink = False
         if unlink:
             shm.unlink()
         with self._lock:
             base = self._register(shm)
+            if not unlink:
+                self._named.add(name)
             self.created += 1
             self.created_bytes += shm.size
         return name, base
@@ -173,16 +189,66 @@ class SharedArena:
         shm = shared_memory.SharedMemory(name=name)
         shm.unlink()
         with self._lock:
+            self._named.discard(name)
             base = self._register(shm)
             self.adopted += 1
         return base
+
+    def attach(self, name: str) -> np.ndarray:
+        """Attach a segment by name *without* unlinking it — the
+        persistent-pool rendezvous path, where the creator (parent task
+        board, worker result stage) keeps reusing the segment and owns
+        its eventual unlink."""
+        from multiprocessing import shared_memory
+
+        with self._lock:
+            base = self._bases.get(name)
+            if base is not None:
+                return base
+        shm = shared_memory.SharedMemory(name=name)
+        with self._lock:
+            base = self._register(shm)
+            self.adopted += 1
+        return base
+
+    def release(self, name: str) -> None:
+        """Unlink a named segment we created (persistent-pool rendezvous
+        buffers rotating to a new size, and executor shutdown).  The
+        mapping, if any, stays valid until :meth:`prune` closes it."""
+        with self._lock:
+            self._named.discard(name)
+            shm = self._segments.get(name)
+        try:
+            if shm is not None:
+                shm.unlink()
+            else:
+                from multiprocessing import shared_memory
+
+                stray = shared_memory.SharedMemory(name=name)
+                stray.unlink()
+                stray.close()
+        except (FileNotFoundError, OSError):
+            pass
+
+    def unlink_named(self) -> int:
+        """Unlink every still-named segment (pool executor shutdown and
+        the exit sweep); returns how many names were dropped."""
+        with self._lock:
+            names = list(self._named)
+        for name in names:
+            self.release(name)
+        return len(names)
 
     def view(self, name: str, offset: int, shape, dtype) -> np.ndarray:
         """A typed array over ``[offset, offset + size)`` of a segment."""
         with self._lock:
             base = self._bases.get(name)
         if base is None:
-            base = self.adopt(name)
+            # A pool worker sees parent-named segments born after its
+            # fork: attach without unlinking (the parent owns the name).
+            # The parent adopting a fork child's staging segment keeps
+            # the original attach-and-unlink handshake.
+            base = self.attach(name) if shuttle.in_child() else self.adopt(name)
         count = int(np.prod(shape, dtype=np.int64))
         return np.frombuffer(
             base, dtype=np.dtype(dtype), count=count, offset=offset
@@ -252,8 +318,10 @@ class SharedArena:
         """atexit: unlink orphaned names, close what can close, and
         neuter still-exported mappings so ``SharedMemory.__del__``
         doesn't spray BufferErrors during interpreter teardown.  Names
-        are already unlinked (unlink-at-birth / adopt), so the OS
-        reclaims the pages at process exit either way."""
+        are already unlinked (unlink-at-birth / adopt) except the
+        persistent-pool rendezvous segments, which are unlinked here, so
+        the OS reclaims the pages at process exit either way."""
+        self.unlink_named()
         self.sweep_orphans()
         self.prune()
         with self._lock:
@@ -330,7 +398,130 @@ def _shared_rent_active(nbytes: int) -> bool:
     from repro.runtime import executor
 
     ex = executor._global_executor
-    return ex is not None and ex.backend == "process" and ex.workers > 1
+    return (
+        ex is not None
+        and ex.backend in ("process", "process-pool")
+        and ex.workers > 1
+    )
+
+
+class StageBuffer:
+    """A reusable named shared segment for pool rendezvous payloads.
+
+    The per-section-fork backend creates one staging segment per rank
+    per section and the parent adopts (attach + unlink) each — correct,
+    but the create/mmap/unlink churn is exactly the overhead the
+    persistent pool exists to amortize.  A ``StageBuffer`` is the
+    reusable replacement: one named segment, bump-allocated within a
+    section, reset (not recreated) at the next ``begin_section``.
+
+    Two owners use it: each pool **worker** stages its result arrays in
+    one (frames carry ``("persist", name, layout)`` descriptors; the
+    parent attaches by name and copies out), and the **parent** writes
+    each section's task blob into one (the "task board"; workers attach
+    by name and read).
+
+    Growth rotates to a fresh, larger segment.  The old segment is
+    *retired*, not unlinked immediately: frames already written this
+    section still reference it by name, and the peer attaches strictly
+    before the next section begins — retirement unlinks it then.  A
+    high-watermark check shrinks the segment back when a burst of large
+    sections is over, so one huge result doesn't pin ``/dev/shm`` bytes
+    for the executor's lifetime.
+    """
+
+    ALIGN = 64
+    #: Sections between shrink checks / capacity kept vs recent peak.
+    SHRINK_EVERY = 64
+    SHRINK_FACTOR = 4
+    MIN_CAPACITY = 1 << 16
+
+    def __init__(self):
+        self._name: str | None = None
+        self._base: np.ndarray | None = None
+        self._offset = 0
+        self._retired: list[str] = []
+        self._sections = 0
+        self._recent_high = 0
+        self.rotations = 0
+
+    def begin_section(self) -> None:
+        """Reset for a new section: unlink segments retired last section
+        (the peer has consumed them by now) and run the shrink check."""
+        segs = shared_segments()
+        for name in self._retired:
+            segs.release(name)
+        self._retired.clear()
+        self._sections += 1
+        if (
+            self._base is not None
+            and self._sections % self.SHRINK_EVERY == 0
+            and self._base.nbytes > self.MIN_CAPACITY
+            and self._base.nbytes > self.SHRINK_FACTOR * max(self._recent_high, 1)
+        ):
+            self._rotate(max(self._recent_high, self.MIN_CAPACITY))
+            self._recent_high = 0
+        self._offset = 0
+
+    def _rotate(self, nbytes: int) -> None:
+        segs = shared_segments()
+        if self._name is not None:
+            self._retired.append(self._name)
+        self._name, self._base = segs.create(
+            max(self.MIN_CAPACITY, int(nbytes)), unlink=False
+        )
+        self.rotations += 1
+
+    def _reserve(self, nbytes: int) -> int:
+        """Bump-allocate ``nbytes``; grows by rotating to a new segment
+        (earlier reservations this section stay valid in the retired
+        one — descriptors reference segments by name)."""
+        if self._base is None or self._offset + nbytes > self._base.nbytes:
+            current = self._base.nbytes if self._base is not None else 0
+            self._rotate(max(nbytes, 2 * current))
+            self._offset = 0
+        start = self._offset
+        self._offset = -(-(start + nbytes) // self.ALIGN) * self.ALIGN
+        self._recent_high = max(self._recent_high, self._offset)
+        return start
+
+    def place(self, staged: list[np.ndarray]):
+        """Stage one rank's result arrays; returns the frame descriptor
+        ``("persist", name, layout)`` or ``None`` when nothing staged."""
+        if not staged:
+            return None
+        total = sum(-(-a.nbytes // self.ALIGN) * self.ALIGN for a in staged)
+        offset = self._reserve(total)
+        base, name = self._base, self._name
+        layout = []
+        for a in staged:
+            flat = np.frombuffer(base, dtype=a.dtype, count=a.size, offset=offset)
+            np.copyto(flat, a.reshape(-1))
+            layout.append((offset, a.shape, a.dtype.str))
+            offset += -(-a.nbytes // self.ALIGN) * self.ALIGN
+        return ("persist", name, layout)
+
+    def place_blob(self, payload: bytes) -> tuple[str, int, int]:
+        """Write one opaque blob (the task pickle); returns
+        ``(segment_name, offset, length)``."""
+        start = self._reserve(len(payload))
+        self._base[start : start + len(payload)] = np.frombuffer(
+            payload, dtype=np.uint8
+        )
+        return self._name, start, len(payload)
+
+    def close(self) -> None:
+        """Unlink everything this buffer still names (owner teardown)."""
+        segs = shared_segments(create=False)
+        if segs is None:
+            return
+        for name in self._retired:
+            segs.release(name)
+        self._retired.clear()
+        if self._name is not None:
+            segs.release(self._name)
+            self._name = None
+            self._base = None
 
 
 # --------------------------------------------------------------------------

@@ -153,7 +153,14 @@ class MemoryPool:
         with self._lock:
             stored = self._live.pop(alloc.alloc_id)
             if shuttle._JOURNAL is not None:
-                shuttle._JOURNAL.append(("free", self._ipc_id, alloc.alloc_id))
+                shuttle._JOURNAL.append(
+                    (
+                        "free",
+                        self._ipc_id,
+                        alloc.alloc_id,
+                        shuttle.installed_allocation(alloc),
+                    )
+                )
             self.in_use -= stored.nbytes
             remaining = self._usage_by_tag[stored.tag] - stored.nbytes
             if remaining:

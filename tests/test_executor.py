@@ -418,6 +418,174 @@ def test_process_backend_speeds_up_python_heavy_ranks():
 
 
 # ---------------------------------------------------------------------------
+# Process-pool backend: persistent workers, rendezvous, fallback policy
+# ---------------------------------------------------------------------------
+
+
+@needs_fork
+def test_pool_workers_fork_once_and_serve_every_section():
+    ex = RankExecutor("process-pool", workers=2)
+    parent = os.getpid()
+    try:
+        first = ex.rank_map(lambda r: os.getpid(), 4)
+        second = ex.rank_map(lambda r: os.getpid(), 4)
+        stats = ex.stats()
+    finally:
+        ex.shutdown()
+    assert parent not in first  # ranks really ran out-of-process
+    assert first[0] == first[2] and first[1] == first[3]  # round-robin
+    assert first == second  # the same resident workers served both
+    assert stats["forks"] == 2  # one fork per worker, per lifetime
+    assert stats["pool_reuses"] == 1 and stats["fork_joins"] == 2
+
+
+@needs_fork
+def test_pool_results_and_exceptions_match_process_semantics():
+    ex = RankExecutor("process-pool", workers=4)
+    try:
+        assert ex.rank_map(lambda r: r * 10, 4) == [0, 10, 20, 30]
+
+        def flaky(r: int) -> int:
+            if r in (1, 3):
+                raise ValueError(f"rank {r} failed")
+            return r
+
+        with pytest.raises(ValueError, match="rank 1 failed"):
+            ex.rank_map(flaky, 4)
+        stats = ex.stats()
+    finally:
+        ex.shutdown()
+    assert stats["fallback_forks"] == 0  # both sections rode the pool
+
+
+@needs_fork
+def test_pool_trace_events_merge_in_rank_order_with_sequential_ids():
+    ex = RankExecutor("process-pool", workers=4)
+    trace = Trace()
+    trace.record("phase", "before")  # id 0, recorded in the parent
+    try:
+
+        def emit(r: int) -> None:
+            trace.record("compute", f"work[{r}].a", rank=r)
+            trace.record("compute", f"work[{r}].b", rank=r)
+
+        ex.rank_map(emit, 3, trace=trace)
+    finally:
+        ex.shutdown()
+    labels = [e.label for e in trace.events]
+    assert labels == [
+        "before",
+        "work[0].a", "work[0].b",
+        "work[1].a", "work[1].b",
+        "work[2].a", "work[2].b",
+    ]
+    assert [e.event_id for e in trace.events] == list(range(7))
+    assert trace.record("phase", "after").event_id == 7
+
+
+@needs_fork
+def test_pool_worker_death_mid_task_is_loud_and_the_pool_recovers():
+    ex = RankExecutor("process-pool", workers=2)
+    try:
+        before = ex.rank_map(lambda r: os.getpid(), 2)
+
+        def die(r: int) -> int:
+            if r == 1:
+                os._exit(17)  # simulates a segfaulted/OOM-killed worker
+            return r
+
+        with pytest.raises(RuntimeError, match="died mid-task"):
+            ex.rank_map(die, 2)
+        after = ex.rank_map(lambda r: os.getpid(), 2)
+        stats = ex.stats()
+    finally:
+        ex.shutdown()
+    assert set(before).isdisjoint(after)  # torn down, then re-forked fresh
+    assert stats["forks"] == 4  # two workers, forked twice
+
+
+@needs_fork
+def test_pool_nested_rank_map_runs_inline_in_the_worker():
+    ex = RankExecutor("process-pool", workers=2)
+    set_executor(ex)
+    try:
+
+        def outer(r: int):
+            me = os.getpid()
+            inner_pids = rank_map(lambda s: os.getpid(), 2)
+            assert inner_pids == [me, me]  # no fork-from-fork, no re-ship
+            return r
+
+        assert ex.rank_map(outer, 2) == [0, 1]
+        stats = ex.stats()
+    finally:
+        ex.shutdown()
+    assert stats["fork_joins"] == 1  # only the outer section dispatched
+    assert stats["fallback_forks"] == 0
+
+
+@needs_fork
+def test_pool_unshippable_closure_falls_back_to_per_section_fork():
+    ex = RankExecutor("process-pool", workers=2)
+    lock = threading.Lock()
+    parent = os.getpid()
+    try:
+
+        def guarded(r: int) -> int:
+            with lock:  # a live Lock can't cross the task codec
+                return os.getpid()
+
+        pids = ex.rank_map(guarded, 2)
+        stats = ex.stats()
+    finally:
+        ex.shutdown()
+    assert parent not in pids  # the fallback still forked real children
+    assert stats["fallback_forks"] == 1
+    assert stats["fork_joins"] == 1
+
+
+@needs_fork
+def test_pool_shared_state_falls_back_to_threads():
+    ex = RankExecutor("process-pool", workers=4)
+    parent = os.getpid()
+    try:
+        pids = ex.rank_map(lambda r: os.getpid(), 4, shared_state=True)
+        assert pids == [parent] * 4
+        assert ex.stats()["forks"] == 0  # never even forked the pool
+    finally:
+        ex.shutdown()
+
+
+@needs_fork
+def test_pool_stats_count_task_occupancy_and_reuse():
+    ex = RankExecutor("process-pool", workers=2)
+    try:
+        for _ in range(3):
+            ex.rank_map(lambda r: float(np.ones(64).sum()), 4)
+        stats = ex.stats()
+    finally:
+        ex.shutdown()
+    assert stats["backend"] == "process-pool"
+    assert stats["fork_joins"] == 3 and stats["tasks"] == 12
+    assert stats["forks"] == 2 and stats["pool_reuses"] == 2
+    assert stats["pool_restarts"] == 0
+    assert stats["wall_seconds"] > 0
+    assert 0.0 <= stats["busy_fraction"] <= 1.0
+
+
+def test_blas_threads_per_worker_never_round_to_zero():
+    from repro.runtime.executor import _blas_threads_for
+
+    cores = os.cpu_count() or 1
+    assert _blas_threads_for(1) == cores
+    # More workers than cores must clamp to one BLAS thread each, never
+    # zero (a zero clamp makes every matmul crawl through a 0-thread
+    # pool fallback on some BLAS builds).
+    assert _blas_threads_for(cores * 4) == 1
+    assert _blas_threads_for(10_000) == 1
+
+
+# ---------------------------------------------------------------------------
 # Selection: env var, context manager, constructor validation
 # ---------------------------------------------------------------------------
 
@@ -448,6 +616,21 @@ def test_env_selects_process_backend(monkeypatch, value, workers):
         assert ex.workers == workers
     else:
         assert ex.workers >= 1  # defaults to the CPU count
+
+
+@needs_fork
+@pytest.mark.parametrize(
+    "value,workers", [("process-pool:3", 3), ("process-pool", None)]
+)
+def test_env_selects_process_pool_backend(monkeypatch, value, workers):
+    monkeypatch.setenv("REPRO_EXECUTOR", value)
+    reset_executor()
+    ex = get_executor()
+    assert ex.backend == "process-pool"
+    if workers is not None:
+        assert ex.workers == workers
+    else:
+        assert ex.workers >= 1
 
 
 def test_env_default_is_threads_at_cpu_count(monkeypatch):

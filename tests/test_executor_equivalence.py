@@ -144,6 +144,17 @@ def test_process4_bitwise_identical_to_serial(name):
     _assert_matches_serial(name, backend="process")
 
 
+@needs_fork
+@pytest.mark.parametrize("name", sorted(STRATEGIES))
+def test_process_pool4_bitwise_identical_to_serial(name):
+    """The persistent-pool backend reuses resident workers across
+    sections instead of re-forking, so every section's task ships
+    through the codec and the per-worker alloc maps must stay coherent
+    *across* sections — yet the join is held to the same byte-level bar
+    as a fresh fork every time."""
+    _assert_matches_serial(name, backend="process-pool")
+
+
 def test_reference_model_unaffected_by_executor():
     """The single-device path has no rank loop; the executor must leave
     it bit-for-bit alone."""
@@ -167,17 +178,17 @@ def test_reference_model_unaffected_by_executor():
 
 @pytest.mark.parametrize(
     "stage,backend",
-    [(s, b) for s in (1, 2, 3) for b in ("threads", "process")],
+    [(s, b) for s in (1, 2, 3) for b in ("threads", "process", "process-pool")],
     ids=lambda v: str(v),
 )
 def test_zero_adam_bitwise_identical(stage, backend):
     """ZeRO's flatten + per-shard Adam runs under rank_map; two steps at
     workers=4 must reproduce the serial parameter bytes and trace.  The
-    process backend is the hard case: ``adam_step`` rebinds the moment
+    process backends are the hard case: ``adam_step`` rebinds the moment
     arrays on the optimizer state, so the state must travel back through
     the result pipe or step 2 silently diverges."""
-    if backend == "process" and not hasattr(os, "fork"):
-        pytest.skip("process backend needs os.fork")
+    if backend.startswith("process") and not hasattr(os, "fork"):
+        pytest.skip("process backends need os.fork")
     cfg = _llama()
     model = GPTModel(cfg, seed=1)
     params = model.all_params()
@@ -237,12 +248,128 @@ def test_three_process_runs_are_self_identical():
 
 
 @needs_fork
+def test_three_pool_runs_are_self_identical():
+    """Pool-mode determinism: the resident workers carry state between
+    runs (alloc maps, stage segments, BLAS clamps), so repeated
+    pool-mode FPDT-with-offload steps must still land on one unique
+    byte signature."""
+    signatures = set()
+    for _ in range(3):
+        loss, grads, events, peaks = _run_strategy(
+            "fpdt_offload", workers=4, backend="process-pool"
+        )
+        blob = (
+            np.float64(loss).tobytes()
+            + b"".join(grads[k].tobytes() for k in sorted(grads))
+            + repr(events).encode()
+            + repr(peaks).encode()
+        )
+        signatures.add(blob)
+    assert len(signatures) == 1
+
+
+@needs_fork
 def test_process_and_threads_agree_with_each_other():
-    """Transitivity receipt: the two parallel backends, run back to
-    back, land on the same bytes (not just each on serial's)."""
+    """Transitivity receipt: the parallel backends, run back to back,
+    land on the same bytes (not just each on serial's)."""
     t = _run_strategy("ulysses", workers=4, backend="threads")
     p = _run_strategy("ulysses", workers=4, backend="process")
-    assert t[0] == p[0]
+    pool = _run_strategy("ulysses", workers=4, backend="process-pool")
+    assert t[0] == p[0] == pool[0]
     for key in t[1]:
         assert t[1][key].tobytes() == p[1][key].tobytes(), key
-    assert t[2] == p[2] and t[3] == p[3]
+        assert t[1][key].tobytes() == pool[1][key].tobytes(), key
+    assert t[2] == p[2] == pool[2] and t[3] == p[3] == pool[3]
+
+
+# ---------------------------------------------------------------------------
+# Serving decode on the pool: continuous batching stays bitwise
+# ---------------------------------------------------------------------------
+
+
+def _run_serving(workers: int, backend: str | None, offload: bool):
+    """One serving episode: five staggered requests, prefill each, then
+    continuous-batching decode ticks until all complete.  Staggered
+    ``max_new_tokens`` means the live batch shrinks tick by tick — the
+    membership-shifting regime the pooled decode protocol must survive."""
+    from repro.serving.engine import EngineConfig, ServingEngine
+    from repro.serving.request import Request, RequestState
+
+    cfg = _llama()
+    model = GPTModel(cfg, seed=5)
+    cluster = VirtualCluster(1)
+    engine = ServingEngine(
+        model, config=EngineConfig(offload=offload), cluster=cluster
+    )
+    g = rng(23)
+    prompts = [g.integers(0, cfg.vocab_size, size=8 + i) for i in range(5)]
+    with executor(workers=workers, backend=backend):
+        states = [
+            engine.start(
+                Request(
+                    rid=f"r{i}",
+                    prompt=prompts[i],
+                    max_new_tokens=3 + i,
+                    seed=i,
+                )
+            )
+            for i in range(5)
+        ]
+        for state in states:
+            while not engine.prefill_step(state):
+                pass
+        while True:
+            live = [s for s in states if s.state is RequestState.DECODE]
+            if not live:
+                break
+            engine.decode_batch(live)
+        outputs = {s.rid: list(s.new_tokens) for s in states}
+        for state in states:
+            engine.finish(state)
+    events, peaks = _cluster_signature(cluster)
+    cluster.check_no_leaks()
+    return outputs, events, peaks
+
+
+@needs_fork
+@pytest.mark.parametrize("offload", [False, True], ids=["inline-kv", "offload-kv"])
+def test_serving_decode_on_the_pool_matches_serial(offload):
+    """The decode batcher's pooled path (explicit KV-residency payloads,
+    replica decode in resident workers, journal-replayed joins) must
+    produce the serial engine's exact tokens, trace stream, and pool
+    peaks — for both KV-offload modes."""
+    serial = _run_serving(workers=1, backend=None, offload=offload)
+    pooled = _run_serving(workers=4, backend="process-pool", offload=offload)
+    assert pooled[0] == serial[0]
+    assert pooled[1] == serial[1]
+    assert pooled[2] == serial[2]
+
+
+@needs_fork
+def test_serving_loadgen_on_the_pool_matches_serial():
+    """Regression: the full scheduler/load-generator path (admission,
+    chunked prefill, decode batches reshuffling over many ticks) drives
+    alloc-id ranges far enough that parent-born cache allocations
+    numerically collide with stale per-worker alloc-map keys.  The
+    journal's parent-born flag keeps replay from mistranslating those
+    frees; without it this replay dies with a ``KeyError`` in the pool
+    accounting."""
+    from repro.serving.loadgen import LoadGenConfig, run_load, synthesize_requests
+
+    def run(workers, backend=None):
+        cfg = tiny_llama(
+            hidden_size=32, num_layers=2, num_heads=2, num_kv_heads=1
+        )
+        model = GPTModel(cfg, seed=0)
+        requests = synthesize_requests(
+            LoadGenConfig(num_requests=32), cfg.vocab_size
+        )
+        with executor(workers=workers, backend=backend):
+            report = run_load(model, requests, verify="all")
+        assert report.dropped == 0 and report.mismatched == 0
+        return report
+
+    serial = run(1)
+    pooled = run(4, "process-pool")
+    assert pooled.completed == serial.completed == 32
+    assert pooled.schedule_digest == serial.schedule_digest

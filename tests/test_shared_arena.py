@@ -269,6 +269,44 @@ def test_interpreter_exit_sweeps_orphans():
     assert glob.glob(f"/dev/shm/repro-shm-{pid}-*") == []
 
 
+@needs_fork
+@needs_dev_shm
+def test_pool_interpreter_exit_reaps_workers_and_sweeps_segments():
+    """The persistent pool's exit discipline: a process that runs pooled
+    sections and exits *without* calling shutdown must leave no orphan
+    worker processes and no named ``/dev/shm`` segments (the pool's
+    named task-board and stage segments outlive single sections, so the
+    atexit teardown — quit, reap, unlink-named sweep — is what keeps
+    interpreter exit clean)."""
+    script = (
+        "import os\n"
+        "import numpy as np\n"
+        "from repro.runtime.executor import RankExecutor\n"
+        "ex = RankExecutor('process-pool', workers=2)\n"
+        "pids = ex.rank_map(lambda r: os.getpid(), 4)\n"
+        "ex.rank_map(lambda r: np.full(32_768, float(r)), 4)\n"
+        "s = ex.stats()\n"
+        "assert s['pool_reuses'] == 1 and s['fallback_forks'] == 0, s\n"
+        "print('pid', os.getpid(), 'workers', *sorted(set(pids)))\n"
+    )
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, timeout=120, env=env, check=True,
+    )
+    fields = out.stdout.split()
+    parent = int(fields[1])
+    workers = [int(p) for p in fields[3:]]
+    assert len(workers) == 2
+    for pid in (parent, *workers):
+        assert glob.glob(f"/dev/shm/repro-shm-{pid}-*") == []
+    for pid in workers:
+        with pytest.raises(ProcessLookupError):
+            os.kill(pid, 0)  # reaped at exit: no orphan worker survives
+
+
 # ---------------------------------------------------------------------------
 # Fault injection forces the serial path (chaos stays bitwise-identical)
 # ---------------------------------------------------------------------------
